@@ -1,0 +1,107 @@
+// Ablation A — the ADS choice: RSA accumulator vs Merkle hash tree.
+//
+// DESIGN.md calls out the paper's §III argument: the accumulator's witness
+// is one constant-size group element and leaks nothing about the rest of
+// the set, while Merkle proofs are O(log n) hashes and reveal positions.
+// The flip side is proving cost: Merkle proofs are near-free, accumulator
+// witnesses cost a full-set exponentiation. This bench quantifies all of it.
+#include <benchmark/benchmark.h>
+
+#include "adscrypto/hash_to_prime.hpp"
+#include "baseline/merkle_tree.hpp"
+#include "bench/bench_common.hpp"
+
+namespace slicer::bench {
+namespace {
+
+using adscrypto::RsaAccumulator;
+using baseline::MerkleTree;
+using bigint::BigUint;
+
+std::vector<BigUint> primes_for(std::size_t n) {
+  std::vector<BigUint> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(adscrypto::hash_to_prime(be64(i)));
+  return out;
+}
+
+std::vector<Bytes> leaves_for(std::size_t n) {
+  std::vector<Bytes> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(be64(i));
+  return out;
+}
+
+void BM_AccumulatorProve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RsaAccumulator acc(bench_accumulator().first);
+  const auto primes = primes_for(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto w = acc.witness(primes, i++ % n);
+    benchmark::DoNotOptimize(w);
+  }
+  state.counters["proof_bytes"] = static_cast<double>(
+      bench_accumulator().first.modulus.to_bytes_be().size());
+}
+
+void BM_AccumulatorVerify(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RsaAccumulator acc(bench_accumulator().first);
+  const auto primes = primes_for(n);
+  const BigUint ac = acc.accumulate(primes, bench_accumulator().second);
+  const BigUint w = acc.witness(primes, 0);
+  for (auto _ : state) {
+    bool ok = RsaAccumulator::verify(bench_accumulator().first, ac, primes[0], w);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+
+void BM_MerkleProve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MerkleTree tree(leaves_for(n));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto proof = tree.prove(i++ % n);
+    benchmark::DoNotOptimize(proof);
+  }
+  state.counters["proof_bytes"] =
+      static_cast<double>(MerkleTree(leaves_for(n)).prove(0).byte_size());
+}
+
+void BM_MerkleVerify(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto leaves = leaves_for(n);
+  const MerkleTree tree(leaves);
+  const auto proof = tree.prove(0);
+  for (auto _ : state) {
+    bool ok = MerkleTree::verify(tree.root(), leaves[0], proof);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+
+void register_all() {
+  for (const long n : {256, 1024, 4096, 16384}) {
+    benchmark::RegisterBenchmark("AblationA/Accumulator/Prove", BM_AccumulatorProve)
+        ->Arg(n)->Unit(benchmark::kMillisecond)->Iterations(2);
+    benchmark::RegisterBenchmark("AblationA/Merkle/Prove", BM_MerkleProve)
+        ->Arg(n)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("AblationA/Accumulator/Verify",
+                                 BM_AccumulatorVerify)
+        ->Arg(n)->Unit(benchmark::kMicrosecond)->Iterations(20);
+    benchmark::RegisterBenchmark("AblationA/Merkle/Verify", BM_MerkleVerify)
+        ->Arg(n)->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace slicer::bench
+
+int main(int argc, char** argv) {
+  slicer::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation B — SORE-sliced indexed search vs classical ORE linear scan.
+//
+// Two regimes, deliberately:
+//   * proportional selectivity (a fixed fraction of the domain matches):
+//     BOTH approaches scale linearly in N — the scan's per-record digit
+//     compare is cheaper than the index's per-result HMAC, so raw
+//     wall-clock can favour the (unverifiable, order-leaking) scan;
+//   * constant selectivity (the query matches ~the top dozen records no
+//     matter how big the store gets): the index answers in O(results)
+//     while the scan stays O(N·b) — the asymptotic win of slicing order
+//     conditions into keywords.
+#include <algorithm>
+#include <benchmark/benchmark.h>
+
+#include "baseline/linear_scan.hpp"
+#include "bench/bench_common.hpp"
+
+namespace slicer::bench {
+namespace {
+
+using core::MatchCondition;
+
+constexpr std::size_t kBits = 16;
+
+/// Query value whose "greater than" result set has roughly `target` hits.
+std::uint64_t selective_query(const std::vector<core::Record>& records,
+                              std::size_t target) {
+  std::vector<std::uint64_t> values;
+  values.reserve(records.size());
+  for (const auto& r : records) values.push_back(r.value);
+  std::sort(values.begin(), values.end());
+  const std::size_t idx =
+      values.size() > target ? values.size() - target - 1 : 0;
+  return values[idx];
+}
+
+void BM_SlicerIndexedOrderSearch(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const bool constant_selectivity = state.range(1) != 0;
+  World& world = cached_world(kBits, count);
+  const std::uint64_t q =
+      constant_selectivity
+          ? selective_query(world.records, 12)
+          : (1ull << kBits) - (1ull << (kBits - 6));  // ~1/64 of the domain
+  const auto tokens = world.user->make_tokens(q, MatchCondition::kGreater);
+  std::size_t results = 0;
+  for (auto _ : state) {
+    results = 0;
+    for (const auto& t : tokens) {
+      auto r = world.cloud->fetch_results(t);
+      results += r.size();
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.counters["matched"] = static_cast<double>(results);
+  state.counters["records"] = static_cast<double>(count);
+}
+
+void BM_OreLinearScanOrderSearch(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const bool constant_selectivity = state.range(1) != 0;
+  const auto records = gen_records(kBits, count);
+  baseline::OreScanStore store(str_bytes("ablation-ore"), kBits);
+  for (const auto& r : records) store.insert(r.id, r.value);
+  const std::uint64_t q =
+      constant_selectivity ? selective_query(records, 12)
+                           : (1ull << kBits) - (1ull << (kBits - 6));
+  std::size_t results = 0;
+  for (auto _ : state) {
+    auto r = store.query(q, MatchCondition::kGreater);
+    results = r.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["matched"] = static_cast<double>(results);
+  state.counters["records"] = static_cast<double>(count);
+}
+
+void register_all() {
+  for (const long mode : {0L, 1L}) {
+    const char* tag = mode ? "ConstSelectivity" : "ProportionalSelectivity";
+    for (const std::size_t count : record_counts()) {
+      benchmark::RegisterBenchmark(
+          (std::string("AblationB/Slicer/") + tag).c_str(),
+          BM_SlicerIndexedOrderSearch)
+          ->Args({static_cast<long>(count), mode})
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          (std::string("AblationB/OreScan/") + tag).c_str(),
+          BM_OreLinearScanOrderSearch)
+          ->Args({static_cast<long>(count), mode})
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slicer::bench
+
+int main(int argc, char** argv) {
+  slicer::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

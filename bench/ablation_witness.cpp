@@ -1,0 +1,70 @@
+// Ablation C — VO generation strategy: per-query naive MemWit (the paper's
+// Algorithm 4, what Fig. 5b/5d time) vs product-tree precomputation of all
+// witnesses (root-factor algorithm), which amortizes to O(log |X|)
+// exponentiations per element and makes prove() an O(1) lookup.
+#include <benchmark/benchmark.h>
+
+#include "adscrypto/hash_to_prime.hpp"
+#include "bench/bench_common.hpp"
+
+namespace slicer::bench {
+namespace {
+
+using adscrypto::RsaAccumulator;
+using bigint::BigUint;
+
+std::vector<BigUint> primes_for(std::size_t n) {
+  std::vector<BigUint> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(adscrypto::hash_to_prime(be64(i)));
+  return out;
+}
+
+void BM_NaivePerQueryWitness(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RsaAccumulator acc(bench_accumulator().first);
+  const auto primes = primes_for(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto w = acc.witness(primes, i++ % n);
+    benchmark::DoNotOptimize(w);
+  }
+  // One witness per iteration → items/s is witnesses per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ProductTreeAllWitnesses(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RsaAccumulator acc(bench_accumulator().first);
+  const auto primes = primes_for(n);
+  for (auto _ : state) {
+    auto all = acc.all_witnesses(primes);
+    benchmark::DoNotOptimize(all);
+  }
+  // n witnesses per iteration → items/s is (amortized) witnesses per second.
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * n));
+}
+
+void register_all() {
+  for (const long n : {256, 1024, 4096}) {
+    benchmark::RegisterBenchmark("AblationC/NaivePerQueryWitness",
+                                 BM_NaivePerQueryWitness)
+        ->Arg(n)->Unit(benchmark::kMillisecond)->Iterations(3);
+    benchmark::RegisterBenchmark("AblationC/ProductTreeAllWitnesses",
+                                 BM_ProductTreeAllWitnesses)
+        ->Arg(n)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace slicer::bench
+
+int main(int argc, char** argv) {
+  slicer::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Shared infrastructure for the figure/table benchmarks.
+//
+// Scale: the paper sweeps 10K–160K records on an i9-9900K. The default here
+// is a 1K–8K sweep (single container core) with the same bit settings; set
+// SLICER_BENCH_SCALE=<multiplier> (e.g. 20) to run the paper's full sizes.
+// Curve *shapes* — linearity in records, the 8-bit value-space saturation
+// plateau, the bit-width blowup of ADS costs — are scale-invariant, which is
+// what EXPERIMENTS.md compares.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adscrypto/params.hpp"
+#include "core/cloud.hpp"
+#include "core/owner.hpp"
+#include "core/user.hpp"
+#include "core/verify.hpp"
+
+namespace slicer::bench {
+
+/// Record-count scale multiplier from SLICER_BENCH_SCALE (default 1.0).
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("SLICER_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+  }();
+  return s;
+}
+
+/// The sweep of record counts (the paper: 10K, 20K, 40K, 80K, 160K).
+inline std::vector<std::size_t> record_counts() {
+  std::vector<std::size_t> out;
+  for (const double base : {500.0, 1000.0, 2000.0, 4000.0, 8000.0})
+    out.push_back(static_cast<std::size_t>(base * scale()));
+  return out;
+}
+
+/// Uniform random records with b-bit values (the paper's workload).
+inline std::vector<core::Record> gen_records(std::size_t bits,
+                                             std::size_t count,
+                                             std::uint64_t id_base = 1,
+                                             const std::string& seed = "bench") {
+  crypto::Drbg rng(str_bytes(seed + "-" + std::to_string(bits)));
+  std::vector<core::Record> out;
+  out.reserve(count);
+  const std::uint64_t bound = bits >= 64 ? 0 : (1ull << bits);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t v =
+        bound == 0 ? read_be64(rng.generate(8)) : rng.uniform(bound);
+    out.push_back(core::Record{id_base + i, v});
+  }
+  return out;
+}
+
+/// Accumulator parameters with the owner-side trapdoor, generated once per
+/// process from a fixed seed (the embedded params' factorization was
+/// discarded, and the owner legitimately holds φ(n)).
+inline const std::pair<adscrypto::AccumulatorParams,
+                       adscrypto::AccumulatorTrapdoor>&
+bench_accumulator() {
+  static const auto params = [] {
+    crypto::Drbg rng(str_bytes("slicer-bench-accumulator"));
+    return adscrypto::RsaAccumulator::setup(rng, 1024);
+  }();
+  return params;
+}
+
+/// A full deployment (owner + cloud + user) over `count` random b-bit
+/// records, using 1024-bit production-grade moduli.
+struct World {
+  core::Config config;
+  adscrypto::AccumulatorParams acc_params;
+  std::unique_ptr<core::DataOwner> owner;
+  std::unique_ptr<core::CloudServer> cloud;
+  std::unique_ptr<core::DataUser> user;
+  std::vector<core::Record> records;
+};
+
+inline std::unique_ptr<World> make_world(std::size_t bits, std::size_t count,
+                                         bool ingest = true) {
+  auto world = std::make_unique<World>();
+  world->config.value_bits = bits;
+  world->config.prime_bits = 64;
+  world->acc_params = bench_accumulator().first;
+
+  crypto::Drbg rng(str_bytes("slicer-bench-world"));
+  world->owner = std::make_unique<core::DataOwner>(
+      world->config, core::Keys::generate(rng),
+      adscrypto::default_trapdoor_public_key(),
+      adscrypto::default_trapdoor_secret_key(), world->acc_params,
+      bench_accumulator().second, crypto::Drbg(rng.generate(32)));
+  world->cloud = std::make_unique<core::CloudServer>(
+      adscrypto::default_trapdoor_public_key(), world->acc_params,
+      world->config.prime_bits);
+  world->records = gen_records(bits, count);
+  if (ingest) {
+    world->cloud->apply(world->owner->insert(world->records));
+  }
+  world->user = std::make_unique<core::DataUser>(
+      world->owner->export_user_state(), crypto::Drbg(rng.generate(32)));
+  return world;
+}
+
+/// Process-wide cache: benchmarks for different metrics share one built
+/// world per (bits, count).
+inline World& cached_world(std::size_t bits, std::size_t count) {
+  static std::map<std::pair<std::size_t, std::size_t>, std::unique_ptr<World>>
+      cache;
+  auto& slot = cache[{bits, count}];
+  if (!slot) slot = make_world(bits, count);
+  return *slot;
+}
+
+/// Random query values drawn like the paper's "select random numbers".
+inline std::vector<std::uint64_t> query_values(std::size_t bits, std::size_t n,
+                                               const std::string& seed = "q") {
+  crypto::Drbg rng(str_bytes(seed));
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  const std::uint64_t bound = bits >= 64 ? 0 : (1ull << bits);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(bound == 0 ? read_be64(rng.generate(8)) : rng.uniform(bound));
+  return out;
+}
+
+}  // namespace slicer::bench

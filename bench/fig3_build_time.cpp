@@ -1,0 +1,58 @@
+// Fig. 3 — Time cost of Build: (a) index building, (b) ADS building,
+// swept over record counts at 8/16/24-bit value settings.
+//
+// Paper shapes to reproduce:
+//  * 3a: index time linear in record count for every bit width.
+//  * 3b: ADS time ~constant for 8-bit (value space saturates at 2^8, so the
+//    keyword/prime count stops growing) but rising steeply for 16/24-bit.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+namespace slicer::bench {
+namespace {
+
+void BM_BuildIndex(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  const auto records = gen_records(bits, count);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto world = make_world(bits, count, /*ingest=*/false);
+    state.ResumeTiming();
+    auto update = world->owner->insert(records);
+    benchmark::DoNotOptimize(update);
+    // Report the phase split the paper plots.
+    state.counters["index_s"] = world->owner->last_ingest_stats().index_seconds;
+    state.counters["ads_s"] = world->owner->last_ingest_stats().ads_seconds;
+    state.counters["keywords"] =
+        static_cast<double>(world->owner->keyword_count());
+  }
+  state.counters["records"] = static_cast<double>(count);
+}
+
+void register_all() {
+  for (const std::size_t bits : {8, 16, 24}) {
+    for (const std::size_t count : record_counts()) {
+      benchmark::RegisterBenchmark(
+          ("Fig3/Build/" + std::to_string(bits) + "bit/" +
+           std::to_string(count))
+              .c_str(),
+          BM_BuildIndex)
+          ->Args({static_cast<long>(bits), static_cast<long>(count)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slicer::bench
+
+int main(int argc, char** argv) {
+  slicer::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 4 — Storage cost of Build: (a) encrypted index size, (b) ADS
+// (prime-list) size, swept over record counts at 8/16/24-bit settings.
+//
+// Paper shapes to reproduce:
+//  * 4a: index storage proportional to record count (each record maps to a
+//    constant 1 + b entries of fixed width).
+//  * 4b: ADS storage constant for 8-bit (≈0.04 MB in the paper — the value
+//    space saturates) and linear for 16/24-bit.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace slicer::bench;
+
+  std::printf("Fig 4 — storage cost of Build (MB)\n");
+  std::printf("%8s %6s %14s %14s %10s\n", "records", "bits", "index_MB",
+              "ads_MB", "keywords");
+  for (const std::size_t bits : {8, 16, 24}) {
+    for (const std::size_t count : record_counts()) {
+      auto world = make_world(bits, count, /*ingest=*/false);
+      const auto update = world->owner->insert(world->records);
+      const double index_mb =
+          static_cast<double>(update.entries_byte_size()) / (1024.0 * 1024.0);
+      const double ads_mb =
+          static_cast<double>(world->owner->ads_byte_size()) /
+          (1024.0 * 1024.0);
+      std::printf("%8zu %6zu %14.4f %14.4f %10zu\n", count, bits, index_mb,
+                  ads_mb, world->owner->keyword_count());
+    }
+  }
+  return 0;
+}

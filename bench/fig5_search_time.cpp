@@ -1,0 +1,131 @@
+// Fig. 5 — Time cost of Search, split the way the paper plots it:
+//   (a) equality search, result generation      (cloud traversal)
+//   (b) equality search, VO generation          (one membership witness)
+//   (c) order search, result generation         (≤ b token traversals)
+//   (d) order search, VO generation             (≤ b membership witnesses)
+// at 8- and 16-bit settings over the record-count sweep.
+//
+// Paper shapes to reproduce: result generation grows with the matched-result
+// volume (faster on 8-bit equality — more duplicates per value); VO
+// generation for equality stays low and flat (a single witness), while order
+// VO generation is several times larger (one witness per slice token) and
+// grows with the prime-list size.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+namespace slicer::bench {
+namespace {
+
+using core::MatchCondition;
+
+void run_search_bench(benchmark::State& state, MatchCondition mc,
+                      bool time_vo) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  World& world = cached_world(bits, count);
+
+  // Order queries draw uniformly from the value space; equality queries
+  // draw from values that exist (the paper's equality curves are only
+  // meaningful when matches occur).
+  std::vector<std::uint64_t> queries;
+  if (mc == MatchCondition::kEqual) {
+    crypto::Drbg pick(str_bytes("fig5-eq"));
+    for (int i = 0; i < 12; ++i)
+      queries.push_back(
+          world.records[pick.uniform(world.records.size())].value);
+  } else {
+    queries = query_values(bits, 12, "fig5");
+  }
+  std::size_t qi = 0;
+  std::size_t results_total = 0;
+  std::size_t tokens_total = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::uint64_t q = queries[qi++ % queries.size()];
+    const auto tokens = world.user->make_tokens(q, mc);
+    std::vector<std::vector<Bytes>> results;
+    if (time_vo) {
+      // Pre-fetch the results so only VO generation is timed.
+      for (const auto& t : tokens) results.push_back(world.cloud->fetch_results(t));
+    }
+    state.ResumeTiming();
+
+    if (time_vo) {
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        auto reply = world.cloud->prove(tokens[i], results[i]);
+        benchmark::DoNotOptimize(reply);
+        results_total += reply.encrypted_results.size();
+      }
+    } else {
+      for (const auto& t : tokens) {
+        auto r = world.cloud->fetch_results(t);
+        benchmark::DoNotOptimize(r);
+        results_total += r.size();
+      }
+    }
+    tokens_total += tokens.size();
+  }
+  state.counters["records"] = static_cast<double>(count);
+  state.counters["avg_results"] =
+      state.iterations() ? static_cast<double>(results_total) /
+                               static_cast<double>(state.iterations())
+                         : 0;
+  state.counters["avg_tokens"] =
+      state.iterations() ? static_cast<double>(tokens_total) /
+                               static_cast<double>(state.iterations())
+                         : 0;
+}
+
+void BM_EqualityResultGen(benchmark::State& state) {
+  run_search_bench(state, MatchCondition::kEqual, false);
+}
+void BM_EqualityVoGen(benchmark::State& state) {
+  run_search_bench(state, MatchCondition::kEqual, true);
+}
+void BM_OrderResultGen(benchmark::State& state) {
+  run_search_bench(state, MatchCondition::kGreater, false);
+}
+void BM_OrderVoGen(benchmark::State& state) {
+  run_search_bench(state, MatchCondition::kGreater, true);
+}
+
+void register_all() {
+  struct Variant {
+    const char* name;
+    void (*fn)(benchmark::State&);
+    int iterations;
+  };
+  const Variant variants[] = {
+      {"Fig5a/EqualityResultGen", BM_EqualityResultGen, 6},
+      {"Fig5b/EqualityVoGen", BM_EqualityVoGen, 3},
+      {"Fig5c/OrderResultGen", BM_OrderResultGen, 6},
+      {"Fig5d/OrderVoGen", BM_OrderVoGen, 1},
+  };
+  for (const auto& v : variants) {
+    for (const std::size_t bits : {8, 16}) {
+      for (const std::size_t count : record_counts()) {
+        benchmark::RegisterBenchmark(
+            (std::string(v.name) + "/" + std::to_string(bits) + "bit/" +
+             std::to_string(count))
+                .c_str(),
+            v.fn)
+            ->Args({static_cast<long>(bits), static_cast<long>(count)})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(v.iterations);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slicer::bench
+
+int main(int argc, char** argv) {
+  slicer::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 7 — Time cost of Insert after a preload: (a) index, (b) ADS, at
+// 8/16/24-bit settings. The paper preloads 160K records and inserts
+// 10K–80K; we preload 4K (× SLICER_BENCH_SCALE) and insert 0.5K–4K.
+//
+// Paper shapes to reproduce: both components grow proportionally with the
+// inserted amount; the 24-bit ADS cost towers over the others because
+// nearly every inserted record mints fresh keywords → fresh primes.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+namespace slicer::bench {
+namespace {
+
+void BM_Insert(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto insert_count = static_cast<std::size_t>(state.range(1));
+  const std::size_t preload =
+      static_cast<std::size_t>(4000.0 * scale());
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto world = make_world(bits, preload);
+    const auto batch =
+        gen_records(bits, insert_count, /*id_base=*/preload + 1, "fig7");
+    state.ResumeTiming();
+
+    auto update = world->owner->insert(batch);
+    benchmark::DoNotOptimize(update);
+
+    state.counters["index_s"] = world->owner->last_ingest_stats().index_seconds;
+    state.counters["ads_s"] = world->owner->last_ingest_stats().ads_seconds;
+  }
+  state.counters["preload"] = static_cast<double>(preload);
+  state.counters["inserted"] = static_cast<double>(insert_count);
+}
+
+void register_all() {
+  for (const std::size_t bits : {8, 16, 24}) {
+    for (const double base : {500.0, 1000.0, 2000.0, 4000.0}) {
+      const auto count = static_cast<std::size_t>(base * scale());
+      benchmark::RegisterBenchmark(
+          ("Fig7/Insert/" + std::to_string(bits) + "bit/" +
+           std::to_string(count))
+              .c_str(),
+          BM_Insert)
+          ->Args({static_cast<long>(bits), static_cast<long>(count)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slicer::bench
+
+int main(int argc, char** argv) {
+  slicer::bench::register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "adscrypto/accumulator.hpp"
+
+#include "bigint/primes.hpp"
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+
+namespace slicer::adscrypto {
+
+using bigint::BigUint;
+
+Bytes AccumulatorParams::serialize() const {
+  Writer w;
+  w.bytes(modulus.to_bytes_be());
+  w.bytes(generator.to_bytes_be());
+  return std::move(w).take();
+}
+
+AccumulatorParams AccumulatorParams::deserialize(BytesView data) {
+  Reader r(data);
+  AccumulatorParams out;
+  out.modulus = BigUint::from_bytes_be(r.bytes());
+  out.generator = BigUint::from_bytes_be(r.bytes());
+  r.expect_end();
+  return out;
+}
+
+BigUint AccumulatorTrapdoor::phi() const {
+  return (p - BigUint(1)) * (q - BigUint(1));
+}
+
+RsaAccumulator::RsaAccumulator(AccumulatorParams params)
+    : params_(std::move(params)), mont_(params_.modulus) {
+  if (params_.generator.is_zero() || params_.generator.is_one() ||
+      params_.generator >= params_.modulus)
+    throw CryptoError("accumulator generator out of range");
+}
+
+std::pair<AccumulatorParams, AccumulatorTrapdoor> RsaAccumulator::setup(
+    crypto::Drbg& rng, std::size_t modulus_bits, bool safe_primes) {
+  if (modulus_bits < 32)
+    throw CryptoError("accumulator modulus too small");
+  const std::size_t half = modulus_bits / 2;
+
+  BigUint p, q;
+  do {
+    p = safe_primes ? bigint::generate_safe_prime(rng, half)
+                    : bigint::generate_prime(rng, half);
+    q = safe_primes ? bigint::generate_safe_prime(rng, modulus_bits - half)
+                    : bigint::generate_prime(rng, modulus_bits - half);
+  } while (p == q);
+
+  const BigUint n = p * q;
+
+  // Generator of QR_n: square a random unit. The square of a uniform unit is
+  // uniform over QR_n; rejecting 1 (and 0) keeps it a generator with
+  // overwhelming probability for safe-prime moduli.
+  const bigint::Montgomery mont(n);
+  BigUint g;
+  do {
+    const BigUint a = bigint::random_below(rng, n);
+    g = mont.mul(a, a);
+  } while (g.is_zero() || g.is_one());
+
+  return {AccumulatorParams{n, g}, AccumulatorTrapdoor{p, q}};
+}
+
+BigUint RsaAccumulator::accumulate(
+    std::span<const BigUint> primes) const {
+  if (primes.empty()) return params_.generator;
+  const BigUint exponent = product_tree(primes);
+  return mont_.pow(params_.generator, exponent);
+}
+
+BigUint RsaAccumulator::accumulate(std::span<const BigUint> primes,
+                                   const AccumulatorTrapdoor& trapdoor) const {
+  if (primes.empty()) return params_.generator;
+  const BigUint phi = trapdoor.phi();
+  BigUint exponent(1);
+  for (const BigUint& x : primes) exponent = (exponent * x) % phi;
+  return mont_.pow(params_.generator, exponent);
+}
+
+BigUint RsaAccumulator::witness(std::span<const BigUint> primes,
+                                std::size_t index) const {
+  if (index >= primes.size())
+    throw CryptoError("witness index out of range");
+  // Exponent = product of all primes except primes[index], assembled from
+  // the two balanced sub-products around the hole.
+  const BigUint left = product_tree(primes.subspan(0, index));
+  const BigUint right = product_tree(primes.subspan(index + 1));
+  return mont_.pow(params_.generator, left * right);
+}
+
+void RsaAccumulator::all_witnesses_rec(std::span<const BigUint> primes,
+                                       const BigUint& base, std::size_t lo,
+                                       std::size_t hi,
+                                       std::vector<BigUint>& out) const {
+  if (hi - lo == 1) {
+    out[lo] = base;
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const BigUint prod_left = product_tree(primes.subspan(lo, mid - lo));
+  const BigUint prod_right = product_tree(primes.subspan(mid, hi - mid));
+  // Left half still owes the right half's primes in its exponent, and vice
+  // versa — the classic root-factor recursion.
+  all_witnesses_rec(primes, mont_.pow(base, prod_right), lo, mid, out);
+  all_witnesses_rec(primes, mont_.pow(base, prod_left), mid, hi, out);
+}
+
+std::vector<BigUint> RsaAccumulator::all_witnesses(
+    std::span<const BigUint> primes) const {
+  std::vector<BigUint> out(primes.size());
+  if (primes.empty()) return out;
+  all_witnesses_rec(primes, params_.generator, 0, primes.size(), out);
+  return out;
+}
+
+bool RsaAccumulator::verify(const AccumulatorParams& params, const BigUint& ac,
+                            const BigUint& element, const BigUint& witness) {
+  if (witness.is_zero() || witness >= params.modulus) return false;
+  if (element.is_zero()) return false;
+  const bigint::Montgomery mont(params.modulus);
+  return mont.pow(witness, element) == ac;
+}
+
+RsaAccumulator::NonMembershipWitness RsaAccumulator::nonmember_witness(
+    std::span<const BigUint> primes, const BigUint& x) const {
+  if (x < BigUint(2)) throw CryptoError("nonmember_witness: bad element");
+  const BigUint u = product_tree(primes);
+
+  // Bézout: s·u + t·x = 1 requires gcd(u, x) = 1 — x prime and not in X.
+  const auto e = BigUint::ext_gcd(u, x);
+  if (!e.gcd.is_one())
+    throw CryptoError("nonmember_witness: element is a member");
+
+  // Normalize the u-coefficient into [1, x): a ≡ s (mod x).
+  BigUint a = e.x % x;
+  if (e.x_negative && !a.is_zero()) a = x - a;
+  if (a.is_zero())
+    throw CryptoError("nonmember_witness: degenerate coefficient");
+
+  // a·u ≡ 1 (mod x) ⇒ b = (a·u − 1)/x is a non-negative integer and
+  // Ac^a = g^(a·u) = g^(1 + b·x) = g · (g^b)^x.
+  const auto qr = BigUint::divmod(a * u - BigUint(1), x);
+  if (!qr.remainder.is_zero())
+    throw CryptoError("nonmember_witness: internal Bezout inconsistency");
+  return NonMembershipWitness{a, mont_.pow(params_.generator, qr.quotient)};
+}
+
+bool RsaAccumulator::verify_nonmember(const AccumulatorParams& params,
+                                      const BigUint& ac, const BigUint& x,
+                                      const NonMembershipWitness& witness) {
+  if (witness.a.is_zero() || witness.a >= x) return false;
+  if (witness.d.is_zero() || witness.d >= params.modulus) return false;
+  const bigint::Montgomery mont(params.modulus);
+  const BigUint lhs = mont.pow(ac, witness.a);
+  const BigUint rhs = mont.mul(mont.pow(witness.d, x), params.generator);
+  return lhs == rhs;
+}
+
+BigUint product_tree(std::span<const BigUint> values) {
+  if (values.empty()) return BigUint(1);
+  if (values.size() == 1) return values[0];
+  const std::size_t mid = values.size() / 2;
+  return product_tree(values.subspan(0, mid)) *
+         product_tree(values.subspan(mid));
+}
+
+}  // namespace slicer::adscrypto

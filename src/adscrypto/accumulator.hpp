@@ -1,0 +1,113 @@
+// RSA accumulator (Li–Li–Xue / Barić–Pfitzmann style) with membership
+// witnesses.
+//
+// This is the authenticated data structure of Slicer: the data owner
+// accumulates one prime representative per (search token, result-set hash)
+// pair, publishes the accumulation value Ac to the blockchain, and hands the
+// prime list X to the cloud. At query time the cloud produces a constant-size
+// membership witness; the smart contract checks `witness^x == Ac (mod n)`.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+#include "bigint/montgomery.hpp"
+#include "crypto/drbg.hpp"
+
+namespace slicer::adscrypto {
+
+/// Public accumulator parameters: modulus n = p·q and a generator of QR_n.
+struct AccumulatorParams {
+  bigint::BigUint modulus;
+  bigint::BigUint generator;
+
+  Bytes serialize() const;
+  static AccumulatorParams deserialize(BytesView data);
+};
+
+/// The factorization of n. Only the data owner ever holds it; it enables the
+/// O(1)-exponent accumulation fast path (exponent reduced mod φ(n)).
+struct AccumulatorTrapdoor {
+  bigint::BigUint p;
+  bigint::BigUint q;
+
+  bigint::BigUint phi() const;
+};
+
+/// RSA accumulator bound to fixed parameters.
+class RsaAccumulator {
+ public:
+  explicit RsaAccumulator(AccumulatorParams params);
+
+  /// Generates fresh parameters. `safe_primes` selects genuine safe primes
+  /// (slow for large widths — intended for offline setup) versus ordinary
+  /// random primes (fast; adequate for tests and benchmarks).
+  static std::pair<AccumulatorParams, AccumulatorTrapdoor> setup(
+      crypto::Drbg& rng, std::size_t modulus_bits, bool safe_primes = false);
+
+  /// Embedded deterministic 1024-bit parameters (generated once with
+  /// `setup`; see params.cpp) so benchmarks skip key generation.
+  static AccumulatorParams default_params_1024();
+
+  const AccumulatorParams& params() const { return params_; }
+
+  /// Ac = g^(∏ x) mod n — the public (trapdoor-free) path the cloud uses to
+  /// check a received accumulator value.
+  bigint::BigUint accumulate(std::span<const bigint::BigUint> primes) const;
+
+  /// Owner fast path: reduces the exponent mod φ(n) first.
+  bigint::BigUint accumulate(std::span<const bigint::BigUint> primes,
+                             const AccumulatorTrapdoor& trapdoor) const;
+
+  /// Membership witness for primes[index]: g^(∏_{j≠index} x_j) mod n.
+  /// This is the per-query path the paper benchmarks as "VO generation".
+  bigint::BigUint witness(std::span<const bigint::BigUint> primes,
+                          std::size_t index) const;
+
+  /// All witnesses at once via the root-factor (product-tree) algorithm —
+  /// O(|X| log |X|) total instead of O(|X|) per witness. Used by the cloud
+  /// to amortize VO generation across queries (ablation C in DESIGN.md).
+  std::vector<bigint::BigUint> all_witnesses(
+      std::span<const bigint::BigUint> primes) const;
+
+  /// Verifies witness^element == Ac (mod n). This is exactly what the smart
+  /// contract executes on chain.
+  static bool verify(const AccumulatorParams& params, const bigint::BigUint& ac,
+                     const bigint::BigUint& element,
+                     const bigint::BigUint& witness);
+
+  /// Non-membership witness (Li–Li–Xue universal accumulator, the paper's
+  /// ADS reference [28]): for prime x ∉ X, a pair (a, d) with
+  /// Ac^a = d^x · g (mod n) and 1 <= a < x, derived from Bézout
+  /// coefficients of (∏X, x). Lets a prover show a value was never
+  /// accumulated — e.g. certified empty results. Throws CryptoError when
+  /// x divides ∏X (i.e. x IS a member).
+  struct NonMembershipWitness {
+    bigint::BigUint a;
+    bigint::BigUint d;
+  };
+  NonMembershipWitness nonmember_witness(
+      std::span<const bigint::BigUint> primes, const bigint::BigUint& x) const;
+
+  /// Verifies a non-membership witness against `ac`.
+  static bool verify_nonmember(const AccumulatorParams& params,
+                               const bigint::BigUint& ac,
+                               const bigint::BigUint& x,
+                               const NonMembershipWitness& witness);
+
+ private:
+  void all_witnesses_rec(std::span<const bigint::BigUint> primes,
+                         const bigint::BigUint& base, std::size_t lo,
+                         std::size_t hi,
+                         std::vector<bigint::BigUint>& out) const;
+
+  AccumulatorParams params_;
+  bigint::Montgomery mont_;
+};
+
+/// Balanced product of a range of primes (Karatsuba-friendly shape).
+bigint::BigUint product_tree(std::span<const bigint::BigUint> values);
+
+}  // namespace slicer::adscrypto

@@ -1,0 +1,42 @@
+#include "adscrypto/hash_to_prime.hpp"
+
+#include "bigint/primes.hpp"
+#include "common/errors.hpp"
+#include "crypto/sha256.hpp"
+
+namespace slicer::adscrypto {
+
+bigint::BigUint hash_to_prime_candidate(BytesView data, std::uint64_t counter,
+                                        std::size_t bits) {
+  if (bits < 16 || bits > 256)
+    throw CryptoError("hash_to_prime: width must be in [16, 256]");
+
+  const std::size_t bytes = (bits + 7) / 8;
+  crypto::Sha256 ctx;
+  ctx.update(str_bytes("slicer.h_prime"));
+  ctx.update(data);
+  ctx.update(be64(counter));
+  const auto digest = ctx.finish();
+
+  Bytes truncated(digest.begin(), digest.begin() + static_cast<long>(bytes));
+  // Force exact bit width and oddness.
+  const std::size_t top_bit = (bits - 1) % 8;
+  truncated[0] &= static_cast<std::uint8_t>((1u << (top_bit + 1)) - 1u);
+  truncated[0] |= static_cast<std::uint8_t>(1u << top_bit);
+  truncated[bytes - 1] |= 0x01;
+  return bigint::BigUint::from_bytes_be(truncated);
+}
+
+PrimeWithCounter hash_to_prime_counted(BytesView data, std::size_t bits) {
+  for (std::uint64_t counter = 0;; ++counter) {
+    bigint::BigUint candidate = hash_to_prime_candidate(data, counter, bits);
+    if (bigint::is_probable_prime_fixed(candidate))
+      return PrimeWithCounter{std::move(candidate), counter};
+  }
+}
+
+bigint::BigUint hash_to_prime(BytesView data, std::size_t bits) {
+  return hash_to_prime_counted(data, bits).prime;
+}
+
+}  // namespace slicer::adscrypto

@@ -1,0 +1,45 @@
+// H_prime: deterministic prime representatives (Barić–Pfitzmann style).
+//
+// Maps arbitrary bytes to a prime of a fixed bit width by hashing with an
+// incrementing counter until the masked digest is prime. Every party — data
+// owner, cloud, and the verifying smart contract — recomputes the same prime
+// from the same bytes, which is what lets the blockchain rebuild the
+// accumulator element from (search token, result hash) alone.
+#pragma once
+
+#include <cstdint>
+
+#include "bigint/biguint.hpp"
+#include "common/bytes.hpp"
+
+namespace slicer::adscrypto {
+
+/// Default width of prime representatives. 64 bits keeps accumulator
+/// exponents small; collision resistance at this width is adequate for the
+/// reproduction (see DESIGN.md §5) and the width is configurable.
+inline constexpr std::size_t kDefaultPrimeBits = 64;
+
+/// Deterministically derives a `bits`-wide prime from `data`.
+/// The top bit is forced so results always have exactly `bits` bits.
+/// Throws CryptoError if `bits` < 16 or > 256.
+bigint::BigUint hash_to_prime(BytesView data,
+                              std::size_t bits = kDefaultPrimeBits);
+
+/// Prime plus the counter value that produced it. Provers ship the counter
+/// so that on-chain verifiers re-derive the prime with ONE hash and ONE
+/// primality check instead of replaying the whole search (see
+/// chain/slicer_contract.cpp for the soundness argument).
+struct PrimeWithCounter {
+  bigint::BigUint prime;
+  std::uint64_t counter = 0;
+};
+PrimeWithCounter hash_to_prime_counted(BytesView data,
+                                       std::size_t bits = kDefaultPrimeBits);
+
+/// Re-derives the candidate at a given counter (no primality search). The
+/// result has the forced width/oddness shaping but is NOT checked for
+/// primality — the verifier must check it.
+bigint::BigUint hash_to_prime_candidate(BytesView data, std::uint64_t counter,
+                                        std::size_t bits = kDefaultPrimeBits);
+
+}  // namespace slicer::adscrypto

@@ -1,0 +1,68 @@
+#include "adscrypto/multiset_hash.hpp"
+
+#include "common/errors.hpp"
+#include "crypto/sha256.hpp"
+
+namespace slicer::adscrypto {
+
+using bigint::BigUint;
+
+const BigUint& MultisetHash::field_prime() {
+  // secp256k1 base-field prime: 2^256 - 2^32 - 977.
+  static const BigUint q = BigUint::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  return q;
+}
+
+MultisetHash::Digest MultisetHash::empty() { return BigUint(1); }
+
+MultisetHash::Digest MultisetHash::hash_element(BytesView elem) {
+  const BigUint& q = field_prime();
+  // Expand to 512 bits with two domain-separated SHA-256 calls so the value
+  // mod q is statistically uniform, then reject 0 (not in GF(q)*).
+  for (std::uint64_t counter = 0;; ++counter) {
+    crypto::Sha256 lo_ctx;
+    lo_ctx.update(str_bytes("slicer.mset.lo"));
+    lo_ctx.update(be64(counter));
+    lo_ctx.update(elem);
+    const auto lo = lo_ctx.finish();
+
+    crypto::Sha256 hi_ctx;
+    hi_ctx.update(str_bytes("slicer.mset.hi"));
+    hi_ctx.update(be64(counter));
+    hi_ctx.update(elem);
+    const auto hi = hi_ctx.finish();
+
+    Bytes wide(hi.begin(), hi.end());
+    wide.insert(wide.end(), lo.begin(), lo.end());
+    const BigUint value = BigUint::from_bytes_be(wide) % q;
+    if (!value.is_zero()) return value;
+  }
+}
+
+MultisetHash::Digest MultisetHash::add(const Digest& a, const Digest& b) {
+  return (a * b) % field_prime();
+}
+
+MultisetHash::Digest MultisetHash::remove(const Digest& acc,
+                                          const Digest& element_hash) {
+  const BigUint inv = BigUint::mod_inverse(element_hash, field_prime());
+  return (acc * inv) % field_prime();
+}
+
+MultisetHash::Digest MultisetHash::hash_multiset(
+    std::span<const Bytes> elements) {
+  Digest acc = empty();
+  for (const Bytes& e : elements) acc = add(acc, hash_element(e));
+  return acc;
+}
+
+Bytes MultisetHash::serialize(const Digest& d) { return d.to_bytes_be(32); }
+
+MultisetHash::Digest MultisetHash::deserialize(BytesView data) {
+  if (data.size() != 32)
+    throw DecodeError("multiset hash digest must be 32 bytes");
+  return BigUint::from_bytes_be(data);
+}
+
+}  // namespace slicer::adscrypto

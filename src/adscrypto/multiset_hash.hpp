@@ -1,0 +1,49 @@
+// MSet-Mu-Hash multiset hash (Clarke et al., ASIACRYPT 2003).
+//
+//   H(M) = ∏_{b ∈ M} H_q(b)  over GF(q)*
+//
+// Incremental (`add`), order-independent, and multiset-collision-resistant
+// under the discrete-log assumption in GF(q)*. Slicer hashes each keyword's
+// encrypted result multiset with it; the smart contract recomputes the same
+// digest from the returned results during public verification.
+#pragma once
+
+#include <span>
+
+#include "bigint/biguint.hpp"
+#include "common/bytes.hpp"
+
+namespace slicer::adscrypto {
+
+/// Multiset hash over a fixed 256-bit prime field.
+class MultisetHash {
+ public:
+  /// Digest of a multiset: an element of GF(q)*. The empty multiset hashes
+  /// to the multiplicative identity.
+  using Digest = bigint::BigUint;
+
+  /// The field prime q (the secp256k1 base-field prime).
+  static const bigint::BigUint& field_prime();
+
+  /// H(∅) = 1.
+  static Digest empty();
+
+  /// Hash of a single element: H_q(elem) ∈ [1, q-1].
+  static Digest hash_element(BytesView elem);
+
+  /// Combine: H(M ∪ N) = H(M) · H(N) mod q.
+  static Digest add(const Digest& a, const Digest& b);
+
+  /// Removes one occurrence of an element hash (multiplies by its inverse).
+  /// Used by the dual-instance deletion extension.
+  static Digest remove(const Digest& acc, const Digest& element_hash);
+
+  /// Convenience: hash a whole multiset of byte strings.
+  static Digest hash_multiset(std::span<const Bytes> elements);
+
+  /// Fixed-width serialization of a digest (32 bytes, big-endian).
+  static Bytes serialize(const Digest& d);
+  static Digest deserialize(BytesView data);
+};
+
+}  // namespace slicer::adscrypto

@@ -1,0 +1,53 @@
+#include "baseline/chenette_ore.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+#include "crypto/prf.hpp"
+
+namespace slicer::baseline {
+
+ChenetteOre::ChenetteOre(BytesView key, std::size_t bits)
+    : key_(key.begin(), key.end()), bits_(bits) {
+  if (bits == 0 || bits > 64)
+    throw CryptoError("ChenetteOre: bits must be in [1, 64]");
+}
+
+std::uint8_t ChenetteOre::mask_digit(std::uint64_t value, std::size_t i) const {
+  // PRF over the (i-1)-bit prefix, reduced into Z_3.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(bits_));
+  w.u8(static_cast<std::uint8_t>(i));
+  w.u64(i == 1 ? 0 : (value >> (bits_ - (i - 1))));
+  const Bytes prf = crypto::prf_f(key_, w.view());
+  return static_cast<std::uint8_t>(prf[0] % 3);
+}
+
+OreCiphertext ChenetteOre::encrypt(std::uint64_t value) const {
+  if (bits_ < 64 && (value >> bits_) != 0)
+    throw CryptoError("ChenetteOre: value exceeds bit width");
+  OreCiphertext ct;
+  ct.digits.reserve(bits_);
+  for (std::size_t i = 1; i <= bits_; ++i) {
+    const std::uint8_t vi =
+        static_cast<std::uint8_t>((value >> (bits_ - i)) & 1u);
+    ct.digits.push_back(
+        static_cast<std::uint8_t>((mask_digit(value, i) + vi) % 3));
+  }
+  return ct;
+}
+
+int ChenetteOre::compare(const OreCiphertext& a, const OreCiphertext& b) {
+  if (a.digits.size() != b.digits.size())
+    throw CryptoError("ChenetteOre: ciphertext width mismatch");
+  for (std::size_t i = 0; i < a.digits.size(); ++i) {
+    if (a.digits[i] == b.digits[i]) continue;
+    // Same prefix ⇒ same mask; digits differ by the plaintext bit.
+    // a_i = m + va, b_i = m + vb (mod 3) with va, vb ∈ {0,1}:
+    // (a - b) mod 3 == 1 ⇔ va=1, vb=0 ⇔ a > b.
+    const int diff = (a.digits[i] + 3 - b.digits[i]) % 3;
+    return diff == 1 ? 1 : -1;
+  }
+  return 0;
+}
+
+}  // namespace slicer::baseline

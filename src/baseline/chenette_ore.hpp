@@ -1,0 +1,42 @@
+// Baseline ORE in the style of Chenette–Lewi–Weis–Wu (FSE 2016).
+//
+// Ciphertext: one PRF-masked digit per bit, ct_i = F(k, prefix_i) + v_i
+// (mod 3). Comparing two ciphertexts reveals the index of the first
+// differing bit and the order — strictly more leakage than SORE's
+// single-slice match, and no verifiability. Used by ablation B as the
+// classical comparison point for order search via linear scan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace slicer::baseline {
+
+/// A Chenette-style ORE ciphertext: b digits in Z_3.
+struct OreCiphertext {
+  std::vector<std::uint8_t> digits;  // each in {0, 1, 2}
+};
+
+/// Chenette-style ORE over b-bit integers.
+class ChenetteOre {
+ public:
+  /// `key` seeds the per-prefix PRF; `bits` <= 64.
+  ChenetteOre(BytesView key, std::size_t bits);
+
+  OreCiphertext encrypt(std::uint64_t value) const;
+
+  /// Returns -1, 0, +1 as the left plaintext compares to the right.
+  static int compare(const OreCiphertext& a, const OreCiphertext& b);
+
+  std::size_t bits() const { return bits_; }
+
+ private:
+  std::uint8_t mask_digit(std::uint64_t value, std::size_t i) const;
+
+  Bytes key_;
+  std::size_t bits_;
+};
+
+}  // namespace slicer::baseline

@@ -1,0 +1,26 @@
+#include "baseline/linear_scan.hpp"
+
+namespace slicer::baseline {
+
+OreScanStore::OreScanStore(BytesView key, std::size_t bits)
+    : ore_(key, bits) {}
+
+void OreScanStore::insert(core::RecordId id, std::uint64_t value) {
+  records_.push_back(Entry{id, ore_.encrypt(value)});
+}
+
+std::vector<core::RecordId> OreScanStore::query(
+    std::uint64_t value, core::MatchCondition mc) const {
+  const OreCiphertext q = ore_.encrypt(value);
+  std::vector<core::RecordId> out;
+  for (const Entry& e : records_) {
+    const int cmp = ChenetteOre::compare(e.ct, q);  // record vs query
+    const bool match = (mc == core::MatchCondition::kEqual && cmp == 0) ||
+                       (mc == core::MatchCondition::kGreater && cmp > 0) ||
+                       (mc == core::MatchCondition::kLess && cmp < 0);
+    if (match) out.push_back(e.id);
+  }
+  return out;
+}
+
+}  // namespace slicer::baseline

@@ -1,0 +1,40 @@
+// Linear-scan encrypted search engines used as ablation baselines.
+//
+// OreScanStore: every record's value is ORE-encrypted; an order query
+// compares the query ciphertext against all N records (O(N·b)) — the
+// classical non-indexed approach Slicer's SORE-sliced index is measured
+// against in ablation B. No verifiability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/chenette_ore.hpp"
+#include "core/types.hpp"
+
+namespace slicer::baseline {
+
+/// A store of ORE-encrypted records answering order queries by full scan.
+class OreScanStore {
+ public:
+  OreScanStore(BytesView key, std::size_t bits);
+
+  void insert(core::RecordId id, std::uint64_t value);
+
+  /// Records with value strictly greater / strictly less than `value`.
+  std::vector<core::RecordId> query(std::uint64_t value,
+                                    core::MatchCondition mc) const;
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  struct Entry {
+    core::RecordId id;
+    OreCiphertext ct;
+  };
+
+  ChenetteOre ore_;
+  std::vector<Entry> records_;
+};
+
+}  // namespace slicer::baseline

@@ -1,0 +1,81 @@
+#include "baseline/merkle_tree.hpp"
+
+#include "common/errors.hpp"
+#include "crypto/sha256.hpp"
+
+namespace slicer::baseline {
+
+std::size_t MerkleProof::byte_size() const {
+  std::size_t total = 8;  // leaf index
+  for (const Bytes& s : siblings) total += s.size();
+  return total;
+}
+
+Bytes MerkleTree::hash_leaf(BytesView leaf) {
+  crypto::Sha256 ctx;
+  ctx.update(str_bytes("slicer.merkle.leaf"));
+  ctx.update(leaf);
+  const auto d = ctx.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes MerkleTree::hash_node(BytesView left, BytesView right) {
+  crypto::Sha256 ctx;
+  ctx.update(str_bytes("slicer.merkle.node"));
+  ctx.update(left);
+  ctx.update(right);
+  const auto d = ctx.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+MerkleTree::MerkleTree(std::vector<Bytes> leaves)
+    : leaf_count_(leaves.size()) {
+  std::vector<Bytes> level;
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) level.push_back(hash_leaf(leaf));
+  if (level.empty()) level.push_back(hash_leaf({}));
+  levels_.push_back(std::move(level));
+
+  while (levels_.back().size() > 1) {
+    const std::vector<Bytes>& below = levels_.back();
+    std::vector<Bytes> above;
+    above.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      // Odd node at the end is paired with itself (Bitcoin-style).
+      const Bytes& right = (i + 1 < below.size()) ? below[i + 1] : below[i];
+      above.push_back(hash_node(below[i], right));
+    }
+    levels_.push_back(std::move(above));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_ && !(leaf_count_ == 0 && index == 0))
+    throw CryptoError("merkle proof index out of range");
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::size_t pos = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const std::vector<Bytes>& level = levels_[lvl];
+    const std::size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    proof.siblings.push_back(sibling < level.size() ? level[sibling]
+                                                    : level[pos]);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Bytes& root, BytesView leaf,
+                        const MerkleProof& proof) {
+  Bytes hash = hash_leaf(leaf);
+  std::size_t pos = proof.leaf_index;
+  for (const Bytes& sibling : proof.siblings) {
+    hash = (pos % 2 == 0) ? hash_node(hash, sibling)
+                          : hash_node(sibling, hash);
+    pos /= 2;
+  }
+  return hash == root;
+}
+
+}  // namespace slicer::baseline

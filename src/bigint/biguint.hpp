@@ -1,0 +1,140 @@
+// Arbitrary-precision unsigned integers on 64-bit limbs.
+//
+// This is the arithmetic substrate for the RSA accumulator, the RSA trapdoor
+// permutation and the MSet-Mu-Hash field. The representation is a normalized
+// little-endian limb vector (no trailing zero limbs; zero is the empty
+// vector), so default-constructed values are valid zeros and moves are cheap.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace slicer::bigint {
+
+/// Unsigned big integer.
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+
+  /// From a machine word.
+  BigUint(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  /// Parses an unprefixed hex string (empty string = 0). Throws DecodeError
+  /// on non-hex characters.
+  static BigUint from_hex(std::string_view hex);
+
+  /// Parses big-endian bytes (leading zeros allowed).
+  static BigUint from_bytes_be(BytesView data);
+
+  /// Minimal big-endian encoding ("0" encodes to an empty vector).
+  Bytes to_bytes_be() const;
+
+  /// Fixed-width big-endian encoding, left-padded with zeros. Throws
+  /// CryptoError if the value does not fit.
+  Bytes to_bytes_be(std::size_t width) const;
+
+  /// Lowercase hex, no leading zeros ("0" for zero).
+  std::string to_hex() const;
+
+  /// Decimal string.
+  std::string to_dec() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_one() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+
+  /// Value of bit `i` (false beyond bit_length()).
+  bool bit(std::size_t i) const;
+
+  /// Low 64 bits.
+  std::uint64_t low_u64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  /// Number of limbs in the normalized representation.
+  std::size_t limb_count() const { return limbs_.size(); }
+
+  std::strong_ordering operator<=>(const BigUint& rhs) const;
+  bool operator==(const BigUint& rhs) const = default;
+
+  BigUint operator+(const BigUint& rhs) const;
+  /// Subtraction; throws CryptoError on underflow (values are unsigned).
+  BigUint operator-(const BigUint& rhs) const;
+  BigUint operator*(const BigUint& rhs) const;
+  BigUint operator/(const BigUint& rhs) const;
+  BigUint operator%(const BigUint& rhs) const;
+  BigUint operator<<(std::size_t bits) const;
+  BigUint operator>>(std::size_t bits) const;
+
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint& operator-=(const BigUint& rhs);
+  BigUint& operator*=(const BigUint& rhs);
+
+  /// Fast paths on a machine word.
+  BigUint& mul_u64(std::uint64_t m);
+  BigUint& add_u64(std::uint64_t a);
+  /// Divides in place by `d` and returns the remainder. `d` must be nonzero.
+  std::uint64_t divmod_u64(std::uint64_t d);
+
+  /// Quotient and remainder; throws CryptoError on division by zero.
+  struct DivMod;
+  static DivMod divmod(const BigUint& a, const BigUint& b);
+
+  /// (a + b) mod m, assuming a, b < m.
+  static BigUint add_mod(const BigUint& a, const BigUint& b, const BigUint& m);
+  /// (a - b) mod m, assuming a, b < m.
+  static BigUint sub_mod(const BigUint& a, const BigUint& b, const BigUint& m);
+  /// (a * b) mod m.
+  static BigUint mul_mod(const BigUint& a, const BigUint& b, const BigUint& m);
+  /// a^e mod m. Uses Montgomery for odd m, generic square-and-multiply
+  /// otherwise. Throws CryptoError when m is zero.
+  static BigUint pow_mod(const BigUint& a, const BigUint& e, const BigUint& m);
+
+  /// Greatest common divisor.
+  static BigUint gcd(BigUint a, BigUint b);
+  /// Modular inverse; throws CryptoError when gcd(a, m) != 1.
+  static BigUint mod_inverse(const BigUint& a, const BigUint& m);
+
+  /// Signed extended GCD: g = gcd(a, b) with coefficients
+  /// (±x)·a + (±y)·b = g. Backs the universal accumulator's
+  /// non-membership witnesses.
+  struct ExtGcd;
+  static ExtGcd ext_gcd(const BigUint& a, const BigUint& b);
+
+  /// Direct limb access for the Montgomery engine (little-endian).
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+  static BigUint from_limbs(std::vector<std::uint64_t> limbs);
+
+ private:
+  void normalize();
+
+  static BigUint mul_schoolbook(const BigUint& a, const BigUint& b);
+  static BigUint mul_karatsuba(const BigUint& a, const BigUint& b);
+  BigUint slice_limbs(std::size_t from, std::size_t count) const;
+
+  std::vector<std::uint64_t> limbs_;
+};
+
+/// Result of BigUint::divmod.
+struct BigUint::DivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+/// Result of BigUint::ext_gcd: gcd plus signed Bézout coefficients.
+struct BigUint::ExtGcd {
+  BigUint gcd;
+  BigUint x;  // |coefficient of a|
+  bool x_negative = false;
+  BigUint y;  // |coefficient of b|
+  bool y_negative = false;
+};
+
+}  // namespace slicer::bigint

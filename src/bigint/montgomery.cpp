@@ -1,0 +1,158 @@
+#include "bigint/montgomery.hpp"
+
+#include <cassert>
+
+#include "common/errors.hpp"
+
+namespace slicer::bigint {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+namespace {
+
+/// Inverse of an odd `a` modulo 2⁶⁴ by Newton–Hensel lifting.
+u64 inv_u64(u64 a) {
+  u64 x = 1;
+  for (int i = 0; i < 6; ++i) x *= 2 - a * x;  // doubles correct bits
+  return x;
+}
+
+/// Compares two equal-length limb vectors (little-endian).
+bool geq(const std::vector<u64>& a, const std::vector<u64>& b) {
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;
+}
+
+}  // namespace
+
+Montgomery::Montgomery(const BigUint& modulus) : n_big_(modulus) {
+  if (!modulus.is_odd() || modulus.is_one())
+    throw CryptoError("Montgomery modulus must be odd and > 1");
+  n_ = modulus.limbs();
+  k_ = n_.size();
+  n0inv_ = static_cast<u64>(0) - inv_u64(n_[0]);
+
+  // R = 2^(64k); compute R mod n and R² mod n with plain BigUint division.
+  const BigUint r = BigUint(1) << (64 * k_);
+  const BigUint r_mod = r % modulus;
+  const BigUint rr_mod = (r_mod * r_mod) % modulus;
+
+  auto pad = [this](const BigUint& v) {
+    std::vector<u64> out = v.limbs();
+    out.resize(k_, 0);
+    return out;
+  };
+  one_ = pad(r_mod);
+  rr_ = pad(rr_mod);
+}
+
+void Montgomery::mont_mul(const std::vector<u64>& a, const std::vector<u64>& b,
+                          std::vector<u64>& out) const {
+  // CIOS: t has k_+2 limbs.
+  std::vector<u64> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a * b[i]
+    u64 carry = 0;
+    const u64 bi = b[i];
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 cur = static_cast<u128>(a[j]) * bi + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<u64>(cur);
+    t[k_ + 1] = static_cast<u64>(cur >> 64);
+
+    // Reduce one limb: m = t[0] * n0inv mod 2^64; t = (t + m*n) / 2^64.
+    const u64 m = t[0] * n0inv_;
+    cur = static_cast<u128>(t[0]) + static_cast<u128>(m) * n_[0];
+    carry = static_cast<u64>(cur >> 64);
+    for (std::size_t j = 1; j < k_; ++j) {
+      cur = static_cast<u128>(t[j]) + static_cast<u128>(m) * n_[j] + carry;
+      t[j - 1] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    cur = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<u64>(cur);
+    t[k_] = t[k_ + 1] + static_cast<u64>(cur >> 64);
+    t[k_ + 1] = 0;
+  }
+
+  t.resize(k_ + 1);
+  if (t[k_] != 0 ||
+      geq(std::vector<u64>(t.begin(), t.begin() + static_cast<long>(k_)), n_)) {
+    // Subtract n once; with a,b < n the result then fits in k_ limbs.
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const u128 sub = static_cast<u128>(t[i]) - n_[i] - borrow;
+      t[i] = static_cast<u64>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+    t[k_] -= borrow;
+    assert(t[k_] == 0);
+  }
+  out.assign(t.begin(), t.begin() + static_cast<long>(k_));
+}
+
+std::vector<u64> Montgomery::to_mont(const BigUint& a) const {
+  BigUint reduced = a;
+  if (reduced >= n_big_) reduced = reduced % n_big_;
+  std::vector<u64> padded = reduced.limbs();
+  padded.resize(k_, 0);
+  std::vector<u64> out;
+  mont_mul(padded, rr_, out);
+  return out;
+}
+
+BigUint Montgomery::from_mont(const std::vector<u64>& a) const {
+  std::vector<u64> one(k_, 0);
+  one[0] = 1;
+  std::vector<u64> out;
+  mont_mul(a, one, out);
+  return BigUint::from_limbs(out);
+}
+
+BigUint Montgomery::mul(const BigUint& a, const BigUint& b) const {
+  const std::vector<u64> am = to_mont(a);
+  const std::vector<u64> bm = to_mont(b);
+  std::vector<u64> prod;
+  mont_mul(am, bm, prod);
+  return from_mont(prod);
+}
+
+BigUint Montgomery::pow(const BigUint& base, const BigUint& exp) const {
+  if (exp.is_zero()) return BigUint(1) % n_big_;
+
+  const std::vector<u64> base_m = to_mont(base);
+
+  // Precompute base^0..base^15 in Montgomery form (4-bit fixed window).
+  std::vector<std::vector<u64>> table(16);
+  table[0] = one_;
+  table[1] = base_m;
+  for (int i = 2; i < 16; ++i) mont_mul(table[static_cast<std::size_t>(i - 1)], base_m, table[static_cast<std::size_t>(i)]);
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+
+  std::vector<u64> acc = one_;  // Montgomery form of 1
+  std::vector<u64> tmp;
+  for (std::size_t w = windows; w-- > 0;) {
+    for (int s = 0; s < 4; ++s) {
+      mont_mul(acc, acc, tmp);
+      acc.swap(tmp);
+    }
+    unsigned digit = 0;
+    for (int b = 3; b >= 0; --b)
+      digit = (digit << 1) | (exp.bit(w * 4 + static_cast<std::size_t>(b)) ? 1u : 0u);
+    if (digit != 0) {
+      mont_mul(acc, table[digit], tmp);
+      acc.swap(tmp);
+    }
+  }
+  return from_mont(acc);
+}
+
+}  // namespace slicer::bigint

@@ -1,0 +1,48 @@
+// Montgomery modular arithmetic (CIOS) for odd moduli.
+//
+// All heavy modular exponentiation in the library — RSA accumulator
+// accumulation / witnesses / verification and the RSA trapdoor permutation —
+// runs through this engine. Construction precomputes R² mod n and
+// −n⁻¹ mod 2⁶⁴ once; `pow` then uses 4-bit fixed windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+
+namespace slicer::bigint {
+
+/// Montgomery context bound to one odd modulus.
+class Montgomery {
+ public:
+  /// Throws CryptoError unless `modulus` is odd and > 1.
+  explicit Montgomery(const BigUint& modulus);
+
+  /// (a * b) mod n, both operands in the regular domain.
+  BigUint mul(const BigUint& a, const BigUint& b) const;
+
+  /// base^exp mod n.
+  BigUint pow(const BigUint& base, const BigUint& exp) const;
+
+  const BigUint& modulus() const { return n_big_; }
+
+ private:
+  using u64 = std::uint64_t;
+
+  std::vector<u64> to_mont(const BigUint& a) const;
+  BigUint from_mont(const std::vector<u64>& a) const;
+
+  /// out = a * b * R⁻¹ mod n (CIOS). All vectors have k_ limbs.
+  void mont_mul(const std::vector<u64>& a, const std::vector<u64>& b,
+                std::vector<u64>& out) const;
+
+  BigUint n_big_;
+  std::vector<u64> n_;      // modulus limbs, length k_
+  std::vector<u64> rr_;     // R² mod n, length k_
+  std::vector<u64> one_;    // R mod n (Montgomery form of 1), length k_
+  u64 n0inv_ = 0;           // −n⁻¹ mod 2⁶⁴
+  std::size_t k_ = 0;
+};
+
+}  // namespace slicer::bigint

@@ -1,0 +1,157 @@
+#include "bigint/primes.hpp"
+
+#include <array>
+
+#include "bigint/montgomery.hpp"
+#include "common/errors.hpp"
+
+namespace slicer::bigint {
+
+namespace {
+
+// Small primes for trial-division prefiltering.
+constexpr std::array<std::uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// Deterministic Miller–Rabin witness set, sufficient for all n < 2^64.
+constexpr std::array<std::uint64_t, 12> kDeterministicWitnesses = {
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37};
+
+/// One Miller–Rabin round: returns true when `n` passes for witness `a`.
+/// `d` and `r` satisfy n - 1 = d * 2^r with d odd; `mont` is bound to n.
+bool mr_round(const BigUint& n, const BigUint& a, const BigUint& d,
+              std::size_t r, const Montgomery& mont) {
+  const BigUint n_minus_1 = n - BigUint(1);
+  BigUint x = mont.pow(a, d);
+  if (x.is_one() || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = mont.mul(x, x);
+    if (x == n_minus_1) return true;
+    if (x.is_one()) return false;  // nontrivial sqrt of 1 => composite
+  }
+  return false;
+}
+
+}  // namespace
+
+BigUint random_below(crypto::Drbg& rng, const BigUint& bound) {
+  if (bound.is_zero()) throw CryptoError("random_below: zero bound");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t bytes = (bits + 7) / 8;
+  const unsigned top_mask =
+      bits % 8 == 0 ? 0xffu : ((1u << (bits % 8)) - 1u);
+  // Rejection sampling: mask the top byte so ~half of the draws land below
+  // the bound.
+  for (;;) {
+    Bytes raw = rng.generate(bytes);
+    raw[0] &= static_cast<std::uint8_t>(top_mask);
+    BigUint candidate = BigUint::from_bytes_be(raw);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigUint random_bits(crypto::Drbg& rng, std::size_t bits) {
+  if (bits < 2) throw CryptoError("random_bits: need at least 2 bits");
+  const std::size_t bytes = (bits + 7) / 8;
+  Bytes raw = rng.generate(bytes);
+  const std::size_t top_bit = (bits - 1) % 8;
+  raw[0] &= static_cast<std::uint8_t>((1u << (top_bit + 1)) - 1u);
+  raw[0] |= static_cast<std::uint8_t>(1u << top_bit);
+  return BigUint::from_bytes_be(raw);
+}
+
+namespace {
+
+/// Shared trial-division + decomposition prefix. Returns 0 when composite,
+/// 1 when certainly prime (small), 2 when Miller–Rabin is needed; fills
+/// `d` and `r` with n - 1 = d * 2^r in the latter case.
+int mr_prepare(const BigUint& n, BigUint& d, std::size_t& r) {
+  if (n < BigUint(2)) return 0;
+  for (std::uint64_t p : kSmallPrimes) {
+    if (n == BigUint(p)) return 1;
+    BigUint tmp = n;
+    if (tmp.divmod_u64(p) == 0) return 0;
+  }
+  const BigUint n_minus_1 = n - BigUint(1);
+  d = n_minus_1;
+  r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  return 2;
+}
+
+}  // namespace
+
+bool is_probable_prime_fixed(const BigUint& n) {
+  BigUint d;
+  std::size_t r = 0;
+  const int state = mr_prepare(n, d, r);
+  if (state != 2) return state == 1;
+  const Montgomery mont(n);
+  for (std::uint64_t w : kDeterministicWitnesses) {
+    if (!mr_round(n, BigUint(w), d, r, mont)) return false;
+  }
+  return true;
+}
+
+bool is_probable_prime(const BigUint& n, crypto::Drbg& rng, int rounds) {
+  BigUint d;
+  std::size_t r = 0;
+  const int state = mr_prepare(n, d, r);
+  if (state != 2) return state == 1;
+  const Montgomery mont(n);
+
+  if (n.bit_length() <= 64) {
+    for (std::uint64_t w : kDeterministicWitnesses) {
+      if (!mr_round(n, BigUint(w), d, r, mont)) return false;
+    }
+    return true;
+  }
+
+  for (std::uint64_t w : kDeterministicWitnesses) {
+    if (!mr_round(n, BigUint(w), d, r, mont)) return false;
+  }
+  for (int i = 0; i < rounds; ++i) {
+    // Witness in [2, n-2].
+    const BigUint a =
+        random_below(rng, n - BigUint(3)) + BigUint(2);
+    if (!mr_round(n, a, d, r, mont)) return false;
+  }
+  return true;
+}
+
+BigUint generate_prime(crypto::Drbg& rng, std::size_t bits, int rounds) {
+  for (;;) {
+    BigUint candidate = random_bits(rng, bits);
+    if (!candidate.is_odd()) candidate.add_u64(1);
+    if (candidate.bit_length() != bits) continue;  // add_u64 overflowed width
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+BigUint generate_safe_prime(crypto::Drbg& rng, std::size_t bits, int rounds) {
+  if (bits < 4) throw CryptoError("generate_safe_prime: width too small");
+  for (;;) {
+    const BigUint q = generate_prime(rng, bits - 1, rounds);
+    BigUint p = (q << 1) + BigUint(1);
+    if (p.bit_length() != bits) continue;
+    // Cheap prefilter: p mod small primes.
+    bool divisible = false;
+    for (std::uint64_t sp : kSmallPrimes) {
+      BigUint tmp = p;
+      if (tmp.divmod_u64(sp) == 0 && p != BigUint(sp)) {
+        divisible = true;
+        break;
+      }
+    }
+    if (divisible) continue;
+    if (is_probable_prime(p, rng, rounds)) return p;
+  }
+}
+
+}  // namespace slicer::bigint

@@ -1,0 +1,38 @@
+// Primality testing and prime generation.
+//
+// Miller–Rabin with deterministic witness sets for 64-bit inputs and random
+// witnesses (drawn from the caller's DRBG) above that. Safe-prime generation
+// backs the RSA accumulator setup.
+#pragma once
+
+#include "bigint/biguint.hpp"
+#include "crypto/drbg.hpp"
+
+namespace slicer::bigint {
+
+/// Uniform BigUint in [0, bound). `bound` must be nonzero.
+BigUint random_below(crypto::Drbg& rng, const BigUint& bound);
+
+/// Uniform BigUint with exactly `bits` bits (top bit set). `bits` >= 2.
+BigUint random_bits(crypto::Drbg& rng, std::size_t bits);
+
+/// Miller–Rabin probable-prime test. `rounds` extra random rounds are used
+/// for inputs wider than 64 bits (deterministic below).
+bool is_probable_prime(const BigUint& n, crypto::Drbg& rng, int rounds = 32);
+
+/// Fully deterministic Miller–Rabin with the fixed witness set
+/// {2,3,...,37}: exact for n < 2^64, a publicly recomputable heuristic
+/// above (error < 2^-80 for random inputs). H_prime uses this so that every
+/// party derives the same prime representative from the same bytes.
+bool is_probable_prime_fixed(const BigUint& n);
+
+/// Random probable prime with exactly `bits` bits.
+BigUint generate_prime(crypto::Drbg& rng, std::size_t bits, int rounds = 32);
+
+/// Random safe prime p = 2q + 1 (q also prime) with exactly `bits` bits.
+/// Expensive for large widths; unit tests use small sizes and benchmarks use
+/// the embedded parameters in adscrypto/params.hpp.
+BigUint generate_safe_prime(crypto::Drbg& rng, std::size_t bits,
+                            int rounds = 32);
+
+}  // namespace slicer::bigint

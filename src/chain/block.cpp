@@ -1,0 +1,26 @@
+#include "chain/block.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace slicer::chain {
+
+Bytes Block::compute_tx_root(const std::vector<Transaction>& txs) {
+  crypto::Sha256 ctx;
+  ctx.update(str_bytes("slicer.chain.txroot"));
+  for (const Transaction& tx : txs) ctx.update(tx.hash());
+  const auto digest = ctx.finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+Bytes Block::header_hash() const {
+  Writer w;
+  w.u64(number);
+  w.bytes(parent_hash);
+  w.raw(BytesView(sealer.bytes.data(), sealer.bytes.size()));
+  w.u64(timestamp);
+  w.bytes(tx_root);
+  return crypto::Sha256::digest(w.view());
+}
+
+}  // namespace slicer::chain

@@ -1,0 +1,28 @@
+// Blocks and the hash chain of the simulated proof-of-authority blockchain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/tx.hpp"
+
+namespace slicer::chain {
+
+/// One sealed block.
+struct Block {
+  std::uint64_t number = 0;
+  Bytes parent_hash;            // 32 bytes (empty for genesis input)
+  Address sealer;               // the PoA validator that sealed it
+  std::uint64_t timestamp = 0;  // logical time (monotonic counter)
+  std::vector<Transaction> transactions;
+  Bytes tx_root;                // SHA-256 over ordered tx hashes
+  Bytes seal;                   // HMAC "signature" by the sealer's key
+
+  /// Header hash binding every field above except the seal.
+  Bytes header_hash() const;
+
+  /// Recomputes the transaction root from `transactions`.
+  static Bytes compute_tx_root(const std::vector<Transaction>& txs);
+};
+
+}  // namespace slicer::chain

@@ -1,0 +1,229 @@
+#include "chain/blockchain.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace slicer::chain {
+
+Blockchain::Blockchain(std::vector<Address> validators, GasSchedule schedule)
+    : schedule_(schedule), validators_(std::move(validators)) {
+  if (validators_.empty())
+    throw ProtocolError("blockchain needs at least one validator");
+  // Derive a deterministic seal key per validator. A real PoA network uses
+  // ECDSA; an HMAC keyed per validator provides the same unforgeability
+  // property inside the simulation boundary.
+  for (const Address& v : validators_) {
+    Bytes seed = str_bytes("slicer.chain.validator-key");
+    append(seed, BytesView(v.bytes.data(), v.bytes.size()));
+    validator_keys_[v] = crypto::Sha256::digest(seed);
+  }
+}
+
+void Blockchain::credit(const Address& account, std::uint64_t amount) {
+  balances_[account] += amount;
+}
+
+std::uint64_t Blockchain::balance(const Address& account) const {
+  const auto it = balances_.find(account);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+std::uint64_t Blockchain::nonce(const Address& account) const {
+  const auto it = nonces_.find(account);
+  return it == nonces_.end() ? 0 : it->second;
+}
+
+std::uint64_t& Blockchain::balance_ref(const Address& account) {
+  return balances_[account];
+}
+
+Transaction Blockchain::make_tx(const Address& from, const Address& to,
+                                std::uint64_t value, Bytes data) {
+  Transaction tx;
+  tx.from = from;
+  tx.to = to;
+  tx.value = value;
+  tx.data = std::move(data);
+  tx.nonce = nonces_[from]++;
+  return tx;
+}
+
+Bytes Blockchain::submit(Transaction tx) {
+  Bytes hash = tx.hash();
+  mempool_.push_back(std::move(tx));
+  return hash;
+}
+
+Address Blockchain::submit_deployment(const Address& from,
+                                      std::unique_ptr<Contract> contract,
+                                      Bytes ctor_data) {
+  PendingDeployment dep;
+  dep.from = from;
+  dep.contract = std::move(contract);
+  dep.ctor_data = std::move(ctor_data);
+  dep.nonce = nonces_[from]++;
+  // Contract address: hash of (creator, nonce) — CREATE semantics.
+  Writer w;
+  w.raw(BytesView(from.bytes.data(), from.bytes.size()));
+  w.u64(dep.nonce);
+  const Bytes digest = crypto::Sha256::digest(w.view());
+  std::copy(digest.begin(), digest.begin() + 20, dep.at.bytes.begin());
+  const Address at = dep.at;
+  pending_deployments_.push_back(std::move(dep));
+  return at;
+}
+
+void Blockchain::execute_deployment(PendingDeployment& dep, Receipt& receipt) {
+  GasMeter gas(schedule_);
+  gas.charge(schedule_.tx_base, "tx_base");
+  gas.charge(calldata_gas(schedule_, dep.ctor_data), "calldata");
+  gas.charge(schedule_.create, "create");
+  gas.charge(schedule_.code_deposit_per_byte * dep.contract->code_size(),
+             "code_deposit");
+
+  std::vector<std::string> logs;
+  Contract::CallContext ctx{dep.from, dep.at, 0, blocks_.size(), &gas, this, &logs};
+  try {
+    dep.contract->construct(ctx, dep.ctor_data);
+    receipt.success = true;
+    contracts_[dep.at] = std::move(dep.contract);
+  } catch (const ContractRevert& revert) {
+    receipt.success = false;
+    receipt.revert_reason = revert.what();
+  }
+  receipt.gas_used = gas.used();
+  receipt.gas_breakdown = gas.breakdown();
+  // The deployer pays for gas regardless of outcome.
+  std::uint64_t& sender = balance_ref(dep.from);
+  sender -= std::min(sender, receipt.gas_used);
+}
+
+void Blockchain::execute_call(const Transaction& tx, Receipt& receipt) {
+  GasMeter gas(schedule_);
+  gas.charge(schedule_.tx_base, "tx_base");
+  gas.charge(calldata_gas(schedule_, tx.data), "calldata");
+
+  std::uint64_t& sender = balance_ref(tx.from);
+  const auto contract_it = contracts_.find(tx.to);
+
+  if (sender < tx.value) {
+    receipt.success = false;
+    receipt.revert_reason = "insufficient balance for value transfer";
+  } else if (contract_it == contracts_.end()) {
+    // Plain value transfer.
+    sender -= tx.value;
+    balance_ref(tx.to) += tx.value;
+    receipt.success = true;
+  } else {
+    // Contract call. Snapshot balances so a revert rolls back every
+    // transfer the contract performed (EVM state-revert semantics).
+    const auto snapshot = balances_;
+    sender -= tx.value;
+    balance_ref(tx.to) += tx.value;
+    std::vector<std::string> logs;
+    Contract::CallContext ctx{tx.from, tx.to, tx.value, blocks_.size(), &gas, this, &logs};
+    try {
+      receipt.output = contract_it->second->call(ctx, tx.data);
+      receipt.success = true;
+      receipt.logs = std::move(logs);
+    } catch (const ContractRevert& revert) {
+      balances_ = snapshot;
+      receipt.success = false;
+      receipt.revert_reason = revert.what();
+    }
+  }
+
+  receipt.gas_used = gas.used();
+  receipt.gas_breakdown = gas.breakdown();
+  std::uint64_t& payer = balance_ref(tx.from);
+  payer -= std::min(payer, receipt.gas_used);
+}
+
+const Block& Blockchain::seal_block() {
+  Block block;
+  block.number = blocks_.size();
+  block.parent_hash =
+      blocks_.empty() ? Bytes(32, 0) : blocks_.back().header_hash();
+  block.sealer = validators_[blocks_.size() % validators_.size()];
+  block.timestamp = ++clock_;
+
+  // Execute deployments first, then calls, in submission order.
+  for (PendingDeployment& dep : pending_deployments_) {
+    Receipt receipt;
+    Writer w;
+    w.raw(BytesView(dep.from.bytes.data(), dep.from.bytes.size()));
+    w.u64(dep.nonce);
+    receipt.tx_hash = crypto::Sha256::digest(w.view());
+    execute_deployment(dep, receipt);
+    receipts_.push_back(std::move(receipt));
+
+    Transaction marker;  // record the deployment in the block body
+    marker.from = dep.from;
+    marker.to = kZeroAddress;
+    marker.nonce = dep.nonce;
+    marker.data = dep.ctor_data;
+    block.transactions.push_back(std::move(marker));
+  }
+  pending_deployments_.clear();
+
+  for (const Transaction& tx : mempool_) {
+    Receipt receipt;
+    receipt.tx_hash = tx.hash();
+    execute_call(tx, receipt);
+    receipts_.push_back(std::move(receipt));
+    block.transactions.push_back(tx);
+  }
+  mempool_.clear();
+
+  block.tx_root = Block::compute_tx_root(block.transactions);
+  block.seal = seal_of(block, block.sealer);
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+void Blockchain::transfer(const Address& from, const Address& to,
+                          std::uint64_t amount) {
+  std::uint64_t& src = balance_ref(from);
+  if (src < amount) throw ContractRevert("contract balance underflow");
+  src -= amount;
+  balance_ref(to) += amount;
+}
+
+Bytes Blockchain::seal_of(const Block& block, const Address& validator) const {
+  const auto it = validator_keys_.find(validator);
+  if (it == validator_keys_.end())
+    throw ProtocolError("unknown validator cannot seal");
+  return crypto::hmac_sha256(it->second, block.header_hash());
+}
+
+std::optional<Receipt> Blockchain::receipt_of(BytesView tx_hash) const {
+  for (const Receipt& r : receipts_) {
+    if (r.tx_hash.size() == tx_hash.size() &&
+        std::equal(r.tx_hash.begin(), r.tx_hash.end(), tx_hash.begin()))
+      return r;
+  }
+  return std::nullopt;
+}
+
+Contract* Blockchain::contract_at(const Address& addr) {
+  const auto it = contracts_.find(addr);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+bool Blockchain::verify_chain() const {
+  Bytes expected_parent(32, 0);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (b.number != i) return false;
+    if (b.parent_hash != expected_parent) return false;
+    if (b.sealer != validators_[i % validators_.size()]) return false;
+    if (b.tx_root != Block::compute_tx_root(b.transactions)) return false;
+    if (b.seal != seal_of(b, b.sealer)) return false;
+    expected_parent = b.header_hash();
+  }
+  return true;
+}
+
+}  // namespace slicer::chain

@@ -1,0 +1,134 @@
+// The simulated blockchain: accounts, a mempool, PoA block sealing with a
+// validator rotation, gas accounting and a contract registry.
+//
+// Scope note (DESIGN.md §1): this substitutes for the paper's Rinkeby
+// testnet. It is a deterministic in-process chain with real hash-chaining
+// and seal verification; gas charged per transaction follows the schedule
+// in chain/gas.hpp so Table II can be regenerated.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/gas.hpp"
+#include "chain/tx.hpp"
+
+namespace slicer::chain {
+
+class Blockchain;
+
+/// Thrown by contracts to revert the transaction (value returned to sender,
+/// gas still consumed).
+class ContractRevert : public std::runtime_error {
+ public:
+  explicit ContractRevert(const std::string& reason)
+      : std::runtime_error(reason) {}
+};
+
+/// Interface of an on-chain program.
+class Contract {
+ public:
+  virtual ~Contract() = default;
+
+  struct CallContext {
+    Address sender;
+    Address self;              // the contract's own address
+    std::uint64_t value = 0;   // wei attached to the call
+    std::uint64_t block_number = 0;  // height of the block being sealed
+    GasMeter* gas = nullptr;   // meter to charge execution costs on
+    Blockchain* chain = nullptr;  // for balance transfers (payments/refunds)
+    std::vector<std::string>* logs = nullptr;  // event log sink
+  };
+
+  /// Handles a call; returns ABI-encoded output, throws ContractRevert to
+  /// abort.
+  virtual Bytes call(const CallContext& ctx, BytesView calldata) = 0;
+
+  /// Executes the constructor (storage initialization gas is charged here).
+  virtual void construct(const CallContext& ctx, BytesView ctor_data) = 0;
+
+  /// Size of the "compiled" code — determines the deployment gas.
+  virtual std::size_t code_size() const = 0;
+};
+
+/// Proof-of-authority blockchain simulation.
+class Blockchain {
+ public:
+  /// `validators` take turns sealing blocks (round robin). At least one is
+  /// required.
+  explicit Blockchain(std::vector<Address> validators,
+                      GasSchedule schedule = {});
+
+  // --- accounts ---
+  /// Genesis faucet: mints balance.
+  void credit(const Address& account, std::uint64_t amount);
+  std::uint64_t balance(const Address& account) const;
+  std::uint64_t nonce(const Address& account) const;
+
+  // --- transactions ---
+  /// Fills in the sender's next nonce.
+  Transaction make_tx(const Address& from, const Address& to,
+                      std::uint64_t value, Bytes data = {});
+
+  /// Queues a transaction; returns its hash.
+  Bytes submit(Transaction tx);
+
+  /// Queues a contract deployment; returns the future contract address.
+  Address submit_deployment(const Address& from,
+                            std::unique_ptr<Contract> contract,
+                            Bytes ctor_data);
+
+  /// Seals the next block with the rotation's current validator: executes
+  /// every pending transaction, charges gas, appends to the chain.
+  const Block& seal_block();
+
+  /// Balance movement initiated by an executing contract (payout/refund).
+  /// Throws ContractRevert when `from` lacks funds.
+  void transfer(const Address& from, const Address& to, std::uint64_t amount);
+
+  // --- chain state ---
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const std::vector<Receipt>& receipts() const { return receipts_; }
+  /// Receipt for a transaction hash (nullopt if unknown/unsealed).
+  std::optional<Receipt> receipt_of(BytesView tx_hash) const;
+
+  Contract* contract_at(const Address& addr);
+
+  /// Full chain audit: parent hashes, tx roots, seals, validator rotation.
+  bool verify_chain() const;
+
+  const GasSchedule& gas_schedule() const { return schedule_; }
+
+ private:
+  struct PendingDeployment {
+    Address from;
+    Address at;
+    std::unique_ptr<Contract> contract;
+    Bytes ctor_data;
+    std::uint64_t nonce = 0;
+  };
+
+  Bytes seal_of(const Block& block, const Address& validator) const;
+  void execute_call(const Transaction& tx, Receipt& receipt);
+  void execute_deployment(PendingDeployment& dep, Receipt& receipt);
+  std::uint64_t& balance_ref(const Address& account);
+
+  GasSchedule schedule_;
+  std::vector<Address> validators_;
+  std::map<Address, Bytes> validator_keys_;  // seal "signing" keys
+  std::map<Address, std::uint64_t> balances_;
+  std::map<Address, std::uint64_t> nonces_;
+  std::map<Address, std::unique_ptr<Contract>> contracts_;
+
+  std::vector<Transaction> mempool_;
+  std::vector<PendingDeployment> pending_deployments_;
+  std::vector<Block> blocks_;
+  std::vector<Receipt> receipts_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace slicer::chain

@@ -1,0 +1,32 @@
+#include "chain/gas.hpp"
+
+#include <algorithm>
+
+namespace slicer::chain {
+
+std::uint64_t calldata_gas(const GasSchedule& s, BytesView data) {
+  std::uint64_t total = 0;
+  for (std::uint8_t b : data)
+    total += (b == 0) ? s.tx_data_zero : s.tx_data_nonzero;
+  return total;
+}
+
+std::uint64_t sha256_gas(const GasSchedule& s, std::size_t n) {
+  const std::uint64_t words = (n + 31) / 32;
+  return s.sha256_base + s.sha256_per_word * words;
+}
+
+std::uint64_t modexp_gas(const GasSchedule& s, std::size_t base_len,
+                         std::size_t exp_bits, std::size_t mod_len) {
+  // EIP-2565: multiplication_complexity = ceil(max(base, mod)/8)^2,
+  // iteration_count ≈ exponent bit length (for exponents > 32 bytes the
+  // spec adds a multiplier; our exponents are ≤ 32 bytes).
+  const std::uint64_t words8 = (std::max(base_len, mod_len) + 7) / 8;
+  const std::uint64_t mult_complexity = words8 * words8;
+  const std::uint64_t iterations =
+      std::max<std::uint64_t>(1, exp_bits == 0 ? 1 : exp_bits - 1);
+  return std::max<std::uint64_t>(s.modexp_min,
+                                 mult_complexity * iterations / 3);
+}
+
+}  // namespace slicer::chain

@@ -1,0 +1,71 @@
+// EVM-style gas schedule and metering.
+//
+// Constants follow the Ethereum Yellow Paper (Berlin/London values) and
+// EIP-2565 for the modexp precompile, so the simulated contract's gas
+// numbers for Table II land in the same regime as the paper's Rinkeby
+// measurements. The schedule is a plain struct: ablations can pass a
+// modified one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace slicer::chain {
+
+/// Gas cost constants.
+struct GasSchedule {
+  std::uint64_t tx_base = 21'000;          // G_transaction
+  std::uint64_t tx_data_zero = 4;          // per zero calldata byte
+  std::uint64_t tx_data_nonzero = 16;      // per non-zero calldata byte
+  std::uint64_t create = 32'000;           // contract creation surcharge
+  std::uint64_t code_deposit_per_byte = 200;
+  std::uint64_t sstore_set = 20'000;       // zero → non-zero
+  std::uint64_t sstore_reset = 5'000;      // non-zero → non-zero (cold)
+  std::uint64_t sload = 2'100;             // cold storage read
+  std::uint64_t sha256_base = 60;          // precompile base
+  std::uint64_t sha256_per_word = 12;      // per 32-byte word
+  std::uint64_t mulmod = 8;                // MULMOD opcode
+  std::uint64_t log_base = 375;            // LOG0
+  std::uint64_t log_per_byte = 8;
+  std::uint64_t memory_per_word = 3;
+  std::uint64_t modexp_min = 200;          // EIP-2565 floor
+};
+
+/// Calldata cost: 16 gas per non-zero byte, 4 per zero byte.
+std::uint64_t calldata_gas(const GasSchedule& s, BytesView data);
+
+/// SHA-256 precompile cost for `n` input bytes.
+std::uint64_t sha256_gas(const GasSchedule& s, std::size_t n);
+
+/// EIP-2565 modexp precompile cost for byte lengths of base, exponent and
+/// modulus (adjusted exponent length approximated by the bit length).
+std::uint64_t modexp_gas(const GasSchedule& s, std::size_t base_len,
+                         std::size_t exp_bits, std::size_t mod_len);
+
+/// Running gas counter for one transaction, with a per-category breakdown
+/// for the gas-accounting benchmarks.
+class GasMeter {
+ public:
+  explicit GasMeter(const GasSchedule& schedule) : schedule_(schedule) {}
+
+  void charge(std::uint64_t amount, const std::string& category) {
+    used_ += amount;
+    breakdown_[category] += amount;
+  }
+
+  const GasSchedule& schedule() const { return schedule_; }
+  std::uint64_t used() const { return used_; }
+  const std::map<std::string, std::uint64_t>& breakdown() const {
+    return breakdown_;
+  }
+
+ private:
+  const GasSchedule& schedule_;
+  std::uint64_t used_ = 0;
+  std::map<std::string, std::uint64_t> breakdown_;
+};
+
+}  // namespace slicer::chain

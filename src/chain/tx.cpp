@@ -1,0 +1,33 @@
+#include "chain/tx.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace slicer::chain {
+
+Address Address::from_label(std::string_view label) {
+  const Bytes digest = crypto::Sha256::digest(str_bytes(label));
+  Address out;
+  std::copy(digest.begin(), digest.begin() + 20, out.bytes.begin());
+  return out;
+}
+
+std::string Address::to_hex() const {
+  return "0x" + slicer::to_hex(BytesView(bytes.data(), bytes.size()));
+}
+
+Bytes Transaction::serialize() const {
+  Writer w;
+  w.raw(BytesView(from.bytes.data(), from.bytes.size()));
+  w.raw(BytesView(to.bytes.data(), to.bytes.size()));
+  w.u64(value);
+  w.u64(nonce);
+  w.bytes(data);
+  return std::move(w).take();
+}
+
+Bytes Transaction::hash() const {
+  return crypto::Sha256::digest(serialize());
+}
+
+}  // namespace slicer::chain

@@ -1,0 +1,59 @@
+// Addresses, transactions and receipts of the simulated blockchain.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace slicer::chain {
+
+/// 20-byte account address (Ethereum-style).
+struct Address {
+  std::array<std::uint8_t, 20> bytes{};
+
+  auto operator<=>(const Address&) const = default;
+
+  /// Deterministic address derived from a human-readable label (hash-based;
+  /// test/demo convenience).
+  static Address from_label(std::string_view label);
+
+  std::string to_hex() const;
+};
+
+/// A signed-ish transaction. The simulation replaces ECDSA with the sender's
+/// account authority checked by the chain (quasi-identity model); what
+/// matters for the reproduction is calldata size, value transfer and gas.
+struct Transaction {
+  Address from;
+  Address to;           // zero address = contract creation
+  std::uint64_t value = 0;
+  std::uint64_t nonce = 0;
+  Bytes data;           // calldata (method selector + arguments)
+
+  Bytes serialize() const;
+  /// SHA-256 of the serialized transaction.
+  Bytes hash() const;
+};
+
+/// Execution outcome of one transaction.
+struct Receipt {
+  Bytes tx_hash;
+  bool success = false;
+  std::uint64_t gas_used = 0;
+  std::string revert_reason;        // empty on success
+  Bytes output;                     // contract return data
+  std::vector<std::string> logs;    // emitted events
+  /// Per-category gas split recorded by the meter (tx_base, calldata,
+  /// modexp, ...). Simulation-only observability; real chains expose this
+  /// via tracing.
+  std::map<std::string, std::uint64_t> gas_breakdown;
+};
+
+/// The all-zero address used as the creation target.
+inline const Address kZeroAddress{};
+
+}  // namespace slicer::chain

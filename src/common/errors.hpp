@@ -1,0 +1,39 @@
+// Error types shared across the Slicer library.
+//
+// Policy (per C++ Core Guidelines E.2/E.14): throw exceptions derived from
+// std::runtime_error for violations that the caller cannot reasonably check
+// in advance (malformed wire data, crypto parameter failures); use
+// assertions for internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace slicer {
+
+/// Base class of all exceptions thrown by the Slicer library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or truncated serialized data.
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// Invalid cryptographic parameter or state (bad key size, zero modulus, ...).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+/// Violation of a protocol-level precondition (duplicate record id,
+/// unknown token, payment mismatch, ...).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol: " + what) {}
+};
+
+}  // namespace slicer

@@ -1,0 +1,76 @@
+#include "common/serial.hpp"
+
+#include "common/errors.hpp"
+
+namespace slicer {
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 3; i >= 0; --i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 7; i >= 0; --i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::bytes(BytesView data) {
+  if (data.size() > 0xffffffffu) throw DecodeError("byte string too long");
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void Writer::str(std::string_view s) {
+  bytes(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Writer::raw(BytesView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+BytesView Reader::need(std::size_t n) {
+  if (remaining() < n) throw DecodeError("buffer underrun");
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t Reader::u8() { return need(1)[0]; }
+
+std::uint32_t Reader::u32() {
+  BytesView b = need(4);
+  std::uint32_t v = 0;
+  for (std::uint8_t x : b) v = (v << 8) | x;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  BytesView b = need(8);
+  std::uint64_t v = 0;
+  for (std::uint8_t x : b) v = (v << 8) | x;
+  return v;
+}
+
+Bytes Reader::bytes() {
+  const std::uint32_t n = u32();
+  BytesView b = need(n);
+  return Bytes(b.begin(), b.end());
+}
+
+std::string Reader::str() {
+  const Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+Bytes Reader::raw(std::size_t n) {
+  BytesView b = need(n);
+  return Bytes(b.begin(), b.end());
+}
+
+void Reader::expect_end() const {
+  if (!empty()) throw DecodeError("trailing bytes after message");
+}
+
+}  // namespace slicer

@@ -1,0 +1,65 @@
+// Canonical binary serialization for protocol messages.
+//
+// The wire format is deliberately tiny: u8/u32/u64 big-endian integers and
+// length-prefixed byte strings. Every message that crosses a party boundary
+// (owner → cloud, cloud → blockchain, ...) is encoded with Writer and decoded
+// with Reader so byte-exact round-trips are guaranteed — a requirement for
+// the multiset hash and prime-representative recomputation on chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace slicer {
+
+/// Appends typed values to an internal byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Length-prefixed (u32) byte string.
+  void bytes(BytesView data);
+  /// Length-prefixed (u32) ASCII string.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix. Use only for fixed-width fields.
+  void raw(BytesView data);
+
+  /// Returns the accumulated buffer (move-friendly).
+  Bytes take() && { return std::move(buf_); }
+  const Bytes& view() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads typed values from a byte buffer; throws DecodeError on underrun.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes bytes();
+  std::string str();
+  /// Reads exactly `n` raw bytes.
+  Bytes raw(std::size_t n);
+
+  bool empty() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws DecodeError unless the whole buffer was consumed.
+  void expect_end() const;
+
+ private:
+  BytesView need(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace slicer

@@ -1,0 +1,92 @@
+#include "core/client.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace slicer::core {
+
+QueryClient::QueryClient(DataUser& user, CloudServer& cloud,
+                         std::size_t prime_bits)
+    : user_(user), cloud_(cloud), prime_bits_(prime_bits) {}
+
+QueryResult QueryClient::run(std::string_view attribute, std::uint64_t v,
+                             MatchCondition mc) {
+  const auto tokens = user_.make_tokens(attribute, v, mc);
+  const auto replies = cloud_.search(tokens);
+  QueryResult out;
+  out.token_count = tokens.size();
+  out.verified =
+      verify_query(cloud_.accumulator_params(), cloud_.accumulator_value(),
+                   tokens, replies, prime_bits_);
+  out.ids = user_.decrypt(replies);
+  std::sort(out.ids.begin(), out.ids.end());
+  out.ids.erase(std::unique(out.ids.begin(), out.ids.end()), out.ids.end());
+  return out;
+}
+
+QueryResult QueryClient::intersect(QueryResult a, const QueryResult& b) {
+  std::vector<RecordId> both;
+  std::set_intersection(a.ids.begin(), a.ids.end(), b.ids.begin(),
+                        b.ids.end(), std::back_inserter(both));
+  a.ids = std::move(both);
+  a.verified = a.verified && b.verified;
+  a.token_count += b.token_count;
+  return a;
+}
+
+QueryResult QueryClient::unite(QueryResult a, const QueryResult& b) {
+  std::vector<RecordId> merged;
+  std::set_union(a.ids.begin(), a.ids.end(), b.ids.begin(), b.ids.end(),
+                 std::back_inserter(merged));
+  a.ids = std::move(merged);
+  a.verified = a.verified && b.verified;
+  a.token_count += b.token_count;
+  return a;
+}
+
+QueryResult QueryClient::equal(std::uint64_t v) {
+  return equal(user_.config().attribute, v);
+}
+QueryResult QueryClient::greater(std::uint64_t v) {
+  return greater(user_.config().attribute, v);
+}
+QueryResult QueryClient::less(std::uint64_t v) {
+  return less(user_.config().attribute, v);
+}
+QueryResult QueryClient::between(std::uint64_t lo, std::uint64_t hi) {
+  return between(user_.config().attribute, lo, hi);
+}
+
+QueryResult QueryClient::equal(std::string_view attribute, std::uint64_t v) {
+  return run(attribute, v, MatchCondition::kEqual);
+}
+QueryResult QueryClient::greater(std::string_view attribute, std::uint64_t v) {
+  return run(attribute, v, MatchCondition::kGreater);
+}
+QueryResult QueryClient::less(std::string_view attribute, std::uint64_t v) {
+  return run(attribute, v, MatchCondition::kLess);
+}
+
+QueryResult QueryClient::between(std::string_view attribute, std::uint64_t lo,
+                                 std::uint64_t hi) {
+  if (hi <= lo || hi - lo < 2)
+    throw CryptoError("between: exclusive interval (lo, hi) is empty");
+  return intersect(run(attribute, lo, MatchCondition::kGreater),
+                   run(attribute, hi, MatchCondition::kLess));
+}
+
+QueryResult QueryClient::between_inclusive(std::uint64_t lo,
+                                           std::uint64_t hi) {
+  if (lo > hi) throw CryptoError("between_inclusive: lo > hi");
+  const std::string_view attr = user_.config().attribute;
+  if (lo == hi) return run(attr, lo, MatchCondition::kEqual);
+  // [lo, hi] = (lo, hi) ∪ {lo} ∪ {hi}.
+  QueryResult out =
+      hi - lo < 2 ? QueryResult{{}, true, 0} : between(attr, lo, hi);
+  out = unite(std::move(out), run(attr, lo, MatchCondition::kEqual));
+  out = unite(std::move(out), run(attr, hi, MatchCondition::kEqual));
+  return out;
+}
+
+}  // namespace slicer::core

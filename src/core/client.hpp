@@ -1,0 +1,65 @@
+// QueryClient: the high-level verifiable query API.
+//
+// Glues DataUser token generation, CloudServer search and Algorithm-5
+// verification into one call, and composes the primitive conditions into
+// interval queries: `between(lo, hi)` intersects a ">" and a "<" search
+// client-side, so a two-sided range costs at most 2b tokens. Every result
+// carries the verification verdict — callers decide what to do with
+// unverified answers (the blockchain path escalates instead; see
+// chain/slicer_contract.hpp).
+#pragma once
+
+#include "core/cloud.hpp"
+#include "core/user.hpp"
+#include "core/verify.hpp"
+
+namespace slicer::core {
+
+/// Outcome of a verifiable query.
+struct QueryResult {
+  std::vector<RecordId> ids;   // sorted, deduplicated
+  bool verified = false;       // every token's proof checked out
+  std::size_t token_count = 0; // search tokens sent to the cloud
+};
+
+/// High-level query front end over one (user, cloud) pair.
+class QueryClient {
+ public:
+  /// `user` and `cloud` must outlive the client. `ac` is read from the
+  /// cloud on every query in the local-trust mode; pass an explicit
+  /// accumulator value (e.g. the one stored on chain) via the second
+  /// overloads to verify against trusted state instead.
+  QueryClient(DataUser& user, CloudServer& cloud, std::size_t prime_bits = 64);
+
+  QueryResult equal(std::uint64_t v);
+  QueryResult greater(std::uint64_t v);
+  QueryResult less(std::uint64_t v);
+
+  /// Records with lo < value < hi (exclusive). Throws CryptoError when
+  /// lo >= hi leaves an empty interval — callers should not pay for a
+  /// provably empty query.
+  QueryResult between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Records with lo <= value <= hi (inclusive); composed from the
+  /// exclusive interval plus the two endpoint equality searches.
+  QueryResult between_inclusive(std::uint64_t lo, std::uint64_t hi);
+
+  /// Multi-attribute variants (§V-F).
+  QueryResult equal(std::string_view attribute, std::uint64_t v);
+  QueryResult greater(std::string_view attribute, std::uint64_t v);
+  QueryResult less(std::string_view attribute, std::uint64_t v);
+  QueryResult between(std::string_view attribute, std::uint64_t lo,
+                      std::uint64_t hi);
+
+ private:
+  QueryResult run(std::string_view attribute, std::uint64_t v,
+                  MatchCondition mc);
+  static QueryResult intersect(QueryResult a, const QueryResult& b);
+  static QueryResult unite(QueryResult a, const QueryResult& b);
+
+  DataUser& user_;
+  CloudServer& cloud_;
+  std::size_t prime_bits_;
+};
+
+}  // namespace slicer::core

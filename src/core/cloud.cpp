@@ -1,0 +1,82 @@
+#include "core/cloud.hpp"
+
+#include "adscrypto/hash_to_prime.hpp"
+#include "adscrypto/multiset_hash.hpp"
+#include "common/errors.hpp"
+
+namespace slicer::core {
+
+using adscrypto::MultisetHash;
+using bigint::BigUint;
+
+CloudServer::CloudServer(adscrypto::TrapdoorPublicKey trapdoor_pk,
+                         adscrypto::AccumulatorParams accumulator_params,
+                         std::size_t prime_bits)
+    : perm_(std::move(trapdoor_pk)),
+      accumulator_(std::move(accumulator_params)),
+      prime_bits_(prime_bits),
+      ac_(accumulator_.params().generator) {}
+
+void CloudServer::apply(const UpdateOutput& update) {
+  for (const auto& [l, d] : update.entries) index_.put(l, d);
+  for (const BigUint& x : update.new_primes) {
+    prime_pos_[x.to_hex()] = primes_.size();
+    primes_.push_back(x);
+  }
+  ac_ = update.accumulator_value;
+  witness_cache_.clear();  // stale after any update
+}
+
+std::vector<Bytes> CloudServer::fetch_results(const SearchToken& token) const {
+  std::vector<Bytes> results;
+  BigUint trapdoor = perm_.decode(token.trapdoor);
+  // Walk generations newest → oldest: i = j down to 0.
+  for (std::uint32_t gen = 0; gen <= token.j; ++gen) {
+    const Bytes t_enc = perm_.encode(trapdoor);
+    for (std::uint64_t c = 0;; ++c) {
+      const Bytes l = index_address(token.g1, t_enc, c);
+      const auto d = index_.get(l);
+      if (!d.has_value()) break;
+      results.push_back(xor_bytes(index_pad(token.g2, t_enc, c), *d));
+    }
+    if (gen < token.j) trapdoor = perm_.forward(trapdoor);
+  }
+  return results;
+}
+
+TokenReply CloudServer::prove(const SearchToken& token,
+                              std::vector<Bytes> results) const {
+  MultisetHash::Digest h = MultisetHash::empty();
+  for (const Bytes& er : results)
+    h = MultisetHash::add(h, MultisetHash::hash_element(er));
+
+  const BigUint x = adscrypto::hash_to_prime(
+      prime_preimage(token.trapdoor, token.j, token.g1, token.g2, h),
+      prime_bits_);
+
+  const auto it = prime_pos_.find(x.to_hex());
+  if (it == prime_pos_.end())
+    throw ProtocolError("derived prime not in X: index out of sync");
+
+  TokenReply reply;
+  reply.encrypted_results = std::move(results);
+  reply.witness = witness_cache_.empty()
+                      ? accumulator_.witness(primes_, it->second)
+                      : witness_cache_[it->second];
+  return reply;
+}
+
+std::vector<TokenReply> CloudServer::search(
+    std::span<const SearchToken> tokens) const {
+  std::vector<TokenReply> out;
+  out.reserve(tokens.size());
+  for (const SearchToken& token : tokens)
+    out.push_back(prove(token, fetch_results(token)));
+  return out;
+}
+
+void CloudServer::precompute_witnesses() {
+  witness_cache_ = accumulator_.all_witnesses(primes_);
+}
+
+}  // namespace slicer::core

@@ -1,0 +1,79 @@
+// CloudServer: Algorithm 4 (Cloud.Search).
+//
+// The cloud holds the encrypted index I, the prime list X and the current
+// accumulator value. Given a search token it walks trapdoor generations
+// from newest to oldest (t_{i-1} = π_pk(t_i)), collects the encrypted
+// results, then produces the verification object: the RSA-accumulator
+// membership witness of the prime representative derived from
+// (token, multiset-hash of the results).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "adscrypto/accumulator.hpp"
+#include "adscrypto/trapdoor.hpp"
+#include "core/index.hpp"
+#include "core/messages.hpp"
+#include "core/owner.hpp"
+
+namespace slicer::core {
+
+/// The cloud role.
+class CloudServer {
+ public:
+  CloudServer(adscrypto::TrapdoorPublicKey trapdoor_pk,
+              adscrypto::AccumulatorParams accumulator_params,
+              std::size_t prime_bits = 64);
+
+  /// Applies a Build/Insert delta from the data owner: new index entries,
+  /// new primes, and the refreshed accumulator value.
+  void apply(const UpdateOutput& update);
+
+  /// Full search: results + VO for every token.
+  std::vector<TokenReply> search(std::span<const SearchToken> tokens) const;
+
+  /// Result generation only (the Fig. 5a/5c timing component).
+  std::vector<Bytes> fetch_results(const SearchToken& token) const;
+
+  /// VO generation only (the Fig. 5b/5d timing component). `results` must
+  /// be exactly what fetch_results returned for this token; throws
+  /// ProtocolError if the derived prime is not in X (an honest cloud with
+  /// a consistent index never hits this).
+  TokenReply prove(const SearchToken& token,
+                   std::vector<Bytes> results) const;
+
+  /// Serializes the cloud's state (index, prime list, accumulator value)
+  /// for persistence or migration to another server.
+  Bytes serialize_state() const;
+
+  /// Restores a snapshot produced by serialize_state. Throws DecodeError on
+  /// malformed input and ProtocolError when called on a non-empty cloud.
+  void restore_state(BytesView snapshot);
+
+  /// Precomputes all membership witnesses with the product-tree algorithm;
+  /// afterwards prove() is an O(1) lookup until the next apply().
+  /// (Ablation C: amortized vs per-query VO generation.)
+  void precompute_witnesses();
+  bool witnesses_precomputed() const { return !witness_cache_.empty(); }
+
+  const EncryptedIndex& index() const { return index_; }
+  const adscrypto::AccumulatorParams& accumulator_params() const {
+    return accumulator_.params();
+  }
+  const bigint::BigUint& accumulator_value() const { return ac_; }
+  std::size_t prime_count() const { return primes_.size(); }
+
+ private:
+  adscrypto::TrapdoorPermutation perm_;
+  adscrypto::RsaAccumulator accumulator_;
+  std::size_t prime_bits_;
+
+  EncryptedIndex index_;
+  std::vector<bigint::BigUint> primes_;                 // X
+  std::unordered_map<std::string, std::size_t> prime_pos_;  // hex → index in X
+  std::vector<bigint::BigUint> witness_cache_;          // parallel to primes_
+  bigint::BigUint ac_;
+};
+
+}  // namespace slicer::core

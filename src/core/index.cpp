@@ -1,0 +1,41 @@
+#include "core/index.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace slicer::core {
+
+namespace {
+std::string key_of(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+}  // namespace
+
+void EncryptedIndex::put(BytesView l, BytesView d) {
+  auto [it, inserted] = map_.emplace(key_of(l), key_of(d));
+  if (!inserted) throw ProtocolError("encrypted index address collision");
+  bytes_ += l.size() + d.size();
+}
+
+std::optional<Bytes> EncryptedIndex::get(BytesView l) const {
+  const auto it = map_.find(key_of(l));
+  if (it == map_.end()) return std::nullopt;
+  return Bytes(it->second.begin(), it->second.end());
+}
+
+bool EncryptedIndex::contains(BytesView l) const {
+  return map_.find(key_of(l)) != map_.end();
+}
+
+std::vector<std::pair<Bytes, Bytes>> EncryptedIndex::sorted_entries() const {
+  std::vector<std::pair<Bytes, Bytes>> out;
+  out.reserve(map_.size());
+  for (const auto& [l, d] : map_) {
+    out.emplace_back(Bytes(l.begin(), l.end()), Bytes(d.begin(), d.end()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace slicer::core

@@ -1,0 +1,47 @@
+// The encrypted index I: a history-independent dictionary l → d.
+//
+// Keys and values are both 16-byte PRF lanes, so nothing about insertion
+// order or keyword grouping is visible in the structure (the leakage
+// analysis in the paper relies on this). Lookup is the cloud's hot path
+// during Algorithm 4 traversal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace slicer::core {
+
+/// Encrypted index with byte-string addresses.
+class EncryptedIndex {
+ public:
+  /// Inserts l → d. Throws ProtocolError on duplicate address (PRF
+  /// collisions are negligible; a duplicate indicates a protocol bug).
+  void put(BytesView l, BytesView d);
+
+  /// Returns d for l, or nullopt when absent.
+  std::optional<Bytes> get(BytesView l) const;
+
+  bool contains(BytesView l) const;
+
+  std::size_t size() const { return map_.size(); }
+
+  /// Serialized storage footprint in bytes: Σ(|l| + |d|). This is the
+  /// quantity Fig. 4a of the paper reports.
+  std::size_t byte_size() const { return bytes_; }
+
+  /// All entries in deterministic (lexicographic) order — used by the
+  /// snapshot codec. O(n log n).
+  std::vector<std::pair<Bytes, Bytes>> sorted_entries() const;
+
+ private:
+  std::unordered_map<std::string, std::string> map_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace slicer::core

@@ -1,0 +1,95 @@
+#include "core/messages.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+#include "crypto/prf.hpp"
+
+namespace slicer::core {
+
+Bytes SearchToken::serialize() const {
+  Writer w;
+  w.bytes(trapdoor);
+  w.u32(j);
+  w.bytes(g1);
+  w.bytes(g2);
+  return std::move(w).take();
+}
+
+SearchToken SearchToken::deserialize(BytesView data) {
+  Reader r(data);
+  SearchToken out;
+  out.trapdoor = r.bytes();
+  out.j = r.u32();
+  out.g1 = r.bytes();
+  out.g2 = r.bytes();
+  r.expect_end();
+  return out;
+}
+
+Bytes TokenReply::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(encrypted_results.size()));
+  for (const Bytes& er : encrypted_results) w.bytes(er);
+  w.bytes(witness.to_bytes_be());
+  return std::move(w).take();
+}
+
+TokenReply TokenReply::deserialize(BytesView data) {
+  Reader r(data);
+  TokenReply out;
+  const std::uint32_t n = r.u32();
+  // Never trust a length prefix for allocation: each element needs at least
+  // its own 4-byte length, so n is bounded by the remaining payload.
+  if (n > r.remaining() / 4) throw DecodeError("reply count exceeds payload");
+  out.encrypted_results.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.encrypted_results.push_back(r.bytes());
+  out.witness = bigint::BigUint::from_bytes_be(r.bytes());
+  r.expect_end();
+  return out;
+}
+
+std::size_t TokenReply::results_byte_size() const {
+  std::size_t total = 0;
+  for (const Bytes& er : encrypted_results) total += er.size();
+  return total;
+}
+
+namespace {
+Bytes trapdoor_counter(BytesView trapdoor_enc, std::uint64_t c) {
+  Bytes msg(trapdoor_enc.begin(), trapdoor_enc.end());
+  append(msg, be64(c));
+  return msg;
+}
+}  // namespace
+
+Bytes index_address(BytesView g1, BytesView trapdoor_enc, std::uint64_t c) {
+  return crypto::prf_f(g1, trapdoor_counter(trapdoor_enc, c));
+}
+
+Bytes index_pad(BytesView g2, BytesView trapdoor_enc, std::uint64_t c) {
+  return crypto::prf_f(g2, trapdoor_counter(trapdoor_enc, c));
+}
+
+Bytes state_key(BytesView trapdoor_enc, std::uint32_t j, BytesView g1,
+                BytesView g2) {
+  Writer w;
+  w.bytes(trapdoor_enc);
+  w.u32(j);
+  w.bytes(g1);
+  w.bytes(g2);
+  return std::move(w).take();
+}
+
+Bytes prime_preimage(BytesView trapdoor_enc, std::uint32_t j, BytesView g1,
+                     BytesView g2, const adscrypto::MultisetHash::Digest& h) {
+  Writer w;
+  w.str("slicer.prime.v1");
+  w.bytes(trapdoor_enc);
+  w.u32(j);
+  w.bytes(g1);
+  w.bytes(g2);
+  w.raw(adscrypto::MultisetHash::serialize(h));
+  return std::move(w).take();
+}
+
+}  // namespace slicer::core

@@ -1,0 +1,188 @@
+#include "core/owner.hpp"
+
+#include <chrono>
+
+#include "adscrypto/hash_to_prime.hpp"
+#include "common/errors.hpp"
+#include "crypto/prf.hpp"
+#include "sore/sore.hpp"
+
+namespace slicer::core {
+
+using adscrypto::MultisetHash;
+using bigint::BigUint;
+
+std::size_t UpdateOutput::entries_byte_size() const {
+  std::size_t total = 0;
+  for (const auto& [l, d] : entries) total += l.size() + d.size();
+  return total;
+}
+
+DataOwner::DataOwner(
+    Config config, Keys keys, adscrypto::TrapdoorPublicKey trapdoor_pk,
+    adscrypto::TrapdoorSecretKey trapdoor_sk,
+    adscrypto::AccumulatorParams accumulator_params,
+    std::optional<adscrypto::AccumulatorTrapdoor> accumulator_trapdoor,
+    crypto::Drbg rng)
+    : config_(std::move(config)),
+      keys_(std::move(keys)),
+      perm_(std::move(trapdoor_pk)),
+      trapdoor_sk_(std::move(trapdoor_sk)),
+      accumulator_(std::move(accumulator_params)),
+      accumulator_trapdoor_(std::move(accumulator_trapdoor)),
+      rng_(std::move(rng)),
+      ac_(accumulator_.params().generator) {
+  if (keys_.k.size() != 32 || keys_.k_r.size() != 16)
+    throw CryptoError("DataOwner: bad key sizes");
+  if (config_.value_bits == 0 || config_.value_bits > sore::kMaxBits)
+    throw CryptoError("DataOwner: bad value bit width");
+}
+
+void DataOwner::claim_id(RecordId id) {
+  if (!used_ids_.insert(id).second)
+    throw ProtocolError("record id already inserted: " + std::to_string(id));
+}
+
+void DataOwner::add_postings(
+    std::map<std::string, std::vector<RecordId>>& grouped,
+    std::string_view attribute, std::uint64_t value, RecordId id) const {
+  const std::size_t b = config_.value_bits;
+  auto as_key = [](const Bytes& w) {
+    return std::string(w.begin(), w.end());
+  };
+  grouped[as_key(sore::encode_value_keyword(value, b, attribute))].push_back(id);
+  for (const Bytes& ct : sore::cipher_tuples(value, b, attribute))
+    grouped[as_key(ct)].push_back(id);
+}
+
+UpdateOutput DataOwner::build(std::span<const Record> db) {
+  if (!trapdoor_states_.empty())
+    throw ProtocolError("build called on non-empty state; use insert");
+  return insert(db);
+}
+
+UpdateOutput DataOwner::build(std::span<const MultiRecord> db) {
+  if (!trapdoor_states_.empty())
+    throw ProtocolError("build called on non-empty state; use insert");
+  return insert(db);
+}
+
+UpdateOutput DataOwner::insert(std::span<const Record> db_plus) {
+  // Validate the whole batch before touching any state (strong exception
+  // guarantee: a rejected batch leaves no half-claimed ids behind).
+  std::unordered_set<RecordId> batch_ids;
+  for (const Record& r : db_plus) {
+    sore::validate(r.value, config_.value_bits);
+    if (used_ids_.contains(r.id) || !batch_ids.insert(r.id).second)
+      throw ProtocolError("record id already inserted: " +
+                          std::to_string(r.id));
+  }
+  std::map<std::string, std::vector<RecordId>> grouped;
+  for (const Record& r : db_plus) {
+    claim_id(r.id);
+    add_postings(grouped, config_.attribute, r.value, r.id);
+  }
+  return ingest(grouped);
+}
+
+UpdateOutput DataOwner::insert(std::span<const MultiRecord> db_plus) {
+  std::unordered_set<RecordId> batch_ids;
+  for (const MultiRecord& r : db_plus) {
+    for (const AttributeValue& av : r.values)
+      sore::validate(av.value, config_.value_bits);
+    if (used_ids_.contains(r.id) || !batch_ids.insert(r.id).second)
+      throw ProtocolError("record id already inserted: " +
+                          std::to_string(r.id));
+  }
+  std::map<std::string, std::vector<RecordId>> grouped;
+  for (const MultiRecord& r : db_plus) {
+    claim_id(r.id);
+    for (const AttributeValue& av : r.values)
+      add_postings(grouped, av.attribute, av.value, r.id);
+  }
+  return ingest(grouped);
+}
+
+UpdateOutput DataOwner::ingest(
+    const std::map<std::string, std::vector<RecordId>>& grouped) {
+  const RecordCipher cipher(keys_.k_r);
+  UpdateOutput out;
+
+  // Phase 1 — encrypted index: trapdoor chains, (l, d) entries, set hashes.
+  const auto index_start = std::chrono::steady_clock::now();
+  std::vector<Bytes> new_preimages;  // inputs for phase 2
+  new_preimages.reserve(grouped.size());
+
+  for (const auto& [keyword, ids] : grouped) {
+    const Bytes w(keyword.begin(), keyword.end());
+    const auto [g1, g2] = crypto::derive_keyword_keys(keys_.k, w);
+
+    BigUint trapdoor;
+    std::uint32_t j = 0;
+    MultisetHash::Digest h = MultisetHash::empty();
+
+    const auto it = trapdoor_states_.find(keyword);
+    if (it == trapdoor_states_.end()) {
+      // First appearance of this keyword: fresh random trapdoor, j = 0.
+      trapdoor = perm_.random_trapdoor(rng_);
+    } else {
+      // Forward security: advance the chain with the secret key and carry
+      // the cumulative result hash forward.
+      const TrapdoorState& old = it->second;
+      const Bytes old_key = state_key(perm_.encode(old.trapdoor), old.j, g1, g2);
+      const auto h_it = set_hashes_.find(
+          std::string(old_key.begin(), old_key.end()));
+      if (h_it == set_hashes_.end())
+        throw ProtocolError("missing set-hash state for keyword");
+      h = h_it->second;
+      set_hashes_.erase(h_it);  // S.pop
+      trapdoor = perm_.inverse(trapdoor_sk_, old.trapdoor);
+      j = old.j + 1;
+    }
+    trapdoor_states_[keyword] = TrapdoorState{trapdoor, j};
+
+    const Bytes t_enc = perm_.encode(trapdoor);
+    std::uint64_t c = 0;
+    for (const RecordId id : ids) {
+      const Bytes enc_id = cipher.encrypt(id);
+      const Bytes l = index_address(g1, t_enc, c);
+      const Bytes d = xor_bytes(index_pad(g2, t_enc, c), enc_id);
+      out.entries.emplace_back(l, d);
+      h = MultisetHash::add(h, MultisetHash::hash_element(enc_id));
+      ++c;
+    }
+
+    const Bytes new_key = state_key(t_enc, j, g1, g2);
+    set_hashes_[std::string(new_key.begin(), new_key.end())] = h;
+    new_preimages.push_back(prime_preimage(t_enc, j, g1, g2, h));
+  }
+  const auto ads_start = std::chrono::steady_clock::now();
+
+  // Phase 2 — ADS: prime representatives and the accumulation value.
+  for (const Bytes& preimage : new_preimages) {
+    const BigUint x = adscrypto::hash_to_prime(preimage, config_.prime_bits);
+    out.new_primes.push_back(x);
+    primes_.push_back(x);
+  }
+  ac_ = accumulator_trapdoor_.has_value()
+            ? accumulator_.accumulate(primes_, *accumulator_trapdoor_)
+            : accumulator_.accumulate(primes_);
+  out.accumulator_value = ac_;
+
+  const auto ads_end = std::chrono::steady_clock::now();
+  last_stats_.index_seconds =
+      std::chrono::duration<double>(ads_start - index_start).count();
+  last_stats_.ads_seconds =
+      std::chrono::duration<double>(ads_end - ads_start).count();
+  return out;
+}
+
+UserState DataOwner::export_user_state() const {
+  return UserState{config_, keys_, trapdoor_states_, perm_.trapdoor_width()};
+}
+
+std::size_t DataOwner::ads_byte_size() const {
+  return primes_.size() * ((config_.prime_bits + 7) / 8);
+}
+
+}  // namespace slicer::core

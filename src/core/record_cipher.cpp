@@ -1,0 +1,30 @@
+#include "core/record_cipher.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace slicer::core {
+
+namespace {
+constexpr char kTag[8] = {'S', 'L', 'C', 'R', '.', 'R', 'I', 'D'};
+}  // namespace
+
+RecordCipher::RecordCipher(BytesView k_r) : aes_(k_r) {}
+
+Bytes RecordCipher::encrypt(RecordId id) const {
+  Bytes block = be64(id);
+  block.insert(block.end(), kTag, kTag + sizeof(kTag));
+  return aes_.encrypt_one(block);
+}
+
+RecordId RecordCipher::decrypt(BytesView ciphertext) const {
+  if (ciphertext.size() != kCiphertextSize)
+    throw CryptoError("record ciphertext must be 16 bytes");
+  const Bytes block = aes_.decrypt_one(ciphertext);
+  if (std::memcmp(block.data() + 8, kTag, sizeof(kTag)) != 0)
+    throw CryptoError("record ciphertext integrity check failed");
+  return read_be64(BytesView(block.data(), 8));
+}
+
+}  // namespace slicer::core

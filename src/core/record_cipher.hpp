@@ -1,0 +1,36 @@
+// Enc(K_R, R): deterministic encryption of record ids.
+//
+// The index stores d = F(G2, t‖c) ⊕ Enc(K_R, R) in a 16-byte lane, and the
+// multiset-hash verification requires the cloud to recover the exact stored
+// ciphertext — so Enc must be a single AES block. Determinism is safe here:
+// record ids are unique by protocol rule (ProtocolError on reuse), so equal
+// plaintexts never occur. The fixed 8-byte tag doubles as an integrity check
+// at decryption time.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "core/types.hpp"
+#include "crypto/aes128.hpp"
+
+namespace slicer::core {
+
+/// Deterministic AES-128 encryption of record ids into 16-byte blocks.
+class RecordCipher {
+ public:
+  static constexpr std::size_t kCiphertextSize = 16;
+
+  /// Binds to K_R. Throws CryptoError on wrong key size.
+  explicit RecordCipher(BytesView k_r);
+
+  /// Enc(K_R, R) → 16 bytes.
+  Bytes encrypt(RecordId id) const;
+
+  /// Dec(K_R, ·). Throws CryptoError when the embedded tag is wrong —
+  /// i.e. the ciphertext was not produced under this key.
+  RecordId decrypt(BytesView ciphertext) const;
+
+ private:
+  crypto::Aes128 aes_;
+};
+
+}  // namespace slicer::core

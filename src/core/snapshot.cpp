@@ -1,0 +1,187 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+#include "core/cloud.hpp"
+
+namespace slicer::core {
+
+namespace {
+
+constexpr std::uint8_t kOwnerTag = 0xA1;
+constexpr std::uint8_t kCloudTag = 0xA2;
+constexpr std::uint8_t kUserTag = 0xA3;
+constexpr std::uint8_t kVersion = 1;
+
+void write_header(Writer& w, std::uint8_t tag) {
+  w.str("slicer.snapshot");
+  w.u8(tag);
+  w.u8(kVersion);
+}
+
+void read_header(Reader& r, std::uint8_t tag) {
+  if (r.str() != "slicer.snapshot") throw DecodeError("not a slicer snapshot");
+  if (r.u8() != tag) throw DecodeError("snapshot role tag mismatch");
+  if (r.u8() != kVersion) throw DecodeError("unsupported snapshot version");
+}
+
+void write_config(Writer& w, const Config& c) {
+  w.u32(static_cast<std::uint32_t>(c.value_bits));
+  w.u32(static_cast<std::uint32_t>(c.prime_bits));
+  w.str(c.attribute);
+}
+
+Config read_config(Reader& r) {
+  Config c;
+  c.value_bits = r.u32();
+  c.prime_bits = r.u32();
+  c.attribute = r.str();
+  return c;
+}
+
+void write_trapdoor_states(
+    Writer& w, const std::map<std::string, TrapdoorState>& states) {
+  w.u32(static_cast<std::uint32_t>(states.size()));
+  for (const auto& [keyword, state] : states) {
+    w.str(keyword);
+    w.bytes(state.trapdoor.to_bytes_be());
+    w.u32(state.j);
+  }
+}
+
+std::map<std::string, TrapdoorState> read_trapdoor_states(Reader& r) {
+  std::map<std::string, TrapdoorState> out;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string keyword = r.str();
+    TrapdoorState state;
+    state.trapdoor = bigint::BigUint::from_bytes_be(r.bytes());
+    state.j = r.u32();
+    out.emplace(keyword, std::move(state));
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes serialize_user_state(const UserState& state) {
+  Writer w;
+  write_header(w, kUserTag);
+  write_config(w, state.config);
+  w.bytes(state.keys.k);
+  w.bytes(state.keys.k_r);
+  w.u32(static_cast<std::uint32_t>(state.trapdoor_width));
+  write_trapdoor_states(w, state.trapdoor_states);
+  return std::move(w).take();
+}
+
+UserState deserialize_user_state(BytesView data) {
+  Reader r(data);
+  read_header(r, kUserTag);
+  UserState out;
+  out.config = read_config(r);
+  out.keys.k = r.bytes();
+  out.keys.k_r = r.bytes();
+  out.trapdoor_width = r.u32();
+  out.trapdoor_states = read_trapdoor_states(r);
+  r.expect_end();
+  return out;
+}
+
+Bytes DataOwner::serialize_state() const {
+  Writer w;
+  write_header(w, kOwnerTag);
+  write_config(w, config_);
+  write_trapdoor_states(w, trapdoor_states_);
+
+  w.u32(static_cast<std::uint32_t>(set_hashes_.size()));
+  for (const auto& [key, digest] : set_hashes_) {
+    w.str(key);
+    w.raw(adscrypto::MultisetHash::serialize(digest));
+  }
+
+  w.u32(static_cast<std::uint32_t>(primes_.size()));
+  for (const auto& x : primes_) w.bytes(x.to_bytes_be());
+
+  // Deterministic order for the id set.
+  std::vector<RecordId> ids(used_ids_.begin(), used_ids_.end());
+  std::sort(ids.begin(), ids.end());
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const RecordId id : ids) w.u64(id);
+
+  w.bytes(ac_.to_bytes_be());
+  return std::move(w).take();
+}
+
+void DataOwner::restore_state(BytesView snapshot) {
+  if (!trapdoor_states_.empty())
+    throw ProtocolError("restore_state on a non-empty owner");
+  Reader r(snapshot);
+  read_header(r, kOwnerTag);
+  const Config config = read_config(r);
+  if (config.value_bits != config_.value_bits ||
+      config.prime_bits != config_.prime_bits ||
+      config.attribute != config_.attribute)
+    throw ProtocolError("snapshot config mismatch");
+
+  trapdoor_states_ = read_trapdoor_states(r);
+
+  const std::uint32_t n_hashes = r.u32();
+  for (std::uint32_t i = 0; i < n_hashes; ++i) {
+    const std::string key = r.str();
+    set_hashes_[key] = adscrypto::MultisetHash::deserialize(r.raw(32));
+  }
+
+  const std::uint32_t n_primes = r.u32();
+  if (n_primes > r.remaining() / 4)
+    throw DecodeError("prime count exceeds payload");
+  primes_.reserve(n_primes);
+  for (std::uint32_t i = 0; i < n_primes; ++i)
+    primes_.push_back(bigint::BigUint::from_bytes_be(r.bytes()));
+
+  const std::uint32_t n_ids = r.u32();
+  for (std::uint32_t i = 0; i < n_ids; ++i) used_ids_.insert(r.u64());
+
+  ac_ = bigint::BigUint::from_bytes_be(r.bytes());
+  r.expect_end();
+}
+
+Bytes CloudServer::serialize_state() const {
+  Writer w;
+  write_header(w, kCloudTag);
+  const auto entries = index_.sorted_entries();
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [l, d] : entries) {
+    w.bytes(l);
+    w.bytes(d);
+  }
+  w.u32(static_cast<std::uint32_t>(primes_.size()));
+  for (const auto& x : primes_) w.bytes(x.to_bytes_be());
+  w.bytes(ac_.to_bytes_be());
+  return std::move(w).take();
+}
+
+void CloudServer::restore_state(BytesView snapshot) {
+  if (index_.size() != 0 || !primes_.empty())
+    throw ProtocolError("restore_state on a non-empty cloud");
+  Reader r(snapshot);
+  read_header(r, kCloudTag);
+  const std::uint32_t n_entries = r.u32();
+  for (std::uint32_t i = 0; i < n_entries; ++i) {
+    const Bytes l = r.bytes();
+    const Bytes d = r.bytes();
+    index_.put(l, d);
+  }
+  const std::uint32_t n_primes = r.u32();
+  for (std::uint32_t i = 0; i < n_primes; ++i) {
+    bigint::BigUint x = bigint::BigUint::from_bytes_be(r.bytes());
+    prime_pos_[x.to_hex()] = primes_.size();
+    primes_.push_back(std::move(x));
+  }
+  ac_ = bigint::BigUint::from_bytes_be(r.bytes());
+  r.expect_end();
+}
+
+}  // namespace slicer::core

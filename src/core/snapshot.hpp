@@ -1,0 +1,20 @@
+// Persistence codecs for protocol state.
+//
+// DataOwner::serialize_state / CloudServer::serialize_state (declared on the
+// classes) plus the UserState codec below let every party stop and resume —
+// or hand its state to a replacement process — without re-running Build.
+// Snapshots carry a format tag and version byte; decoding anything else
+// throws DecodeError.
+#pragma once
+
+#include "core/owner.hpp"
+
+namespace slicer::core {
+
+/// Serializes the (K, K_R, T) bundle a data user holds.
+Bytes serialize_user_state(const UserState& state);
+
+/// Inverse of serialize_user_state. Throws DecodeError on malformed input.
+UserState deserialize_user_state(BytesView data);
+
+}  // namespace slicer::core

@@ -1,0 +1,37 @@
+#include "core/verify.hpp"
+
+#include "adscrypto/hash_to_prime.hpp"
+#include "adscrypto/multiset_hash.hpp"
+
+namespace slicer::core {
+
+using adscrypto::MultisetHash;
+
+bool verify_reply(const adscrypto::AccumulatorParams& params,
+                  const bigint::BigUint& ac, const SearchToken& token,
+                  const TokenReply& reply, std::size_t prime_bits) {
+  MultisetHash::Digest h = MultisetHash::empty();
+  for (const Bytes& er : reply.encrypted_results)
+    h = MultisetHash::add(h, MultisetHash::hash_element(er));
+
+  const bigint::BigUint x = adscrypto::hash_to_prime(
+      prime_preimage(token.trapdoor, token.j, token.g1, token.g2, h),
+      prime_bits);
+
+  return adscrypto::RsaAccumulator::verify(params, ac, x, reply.witness);
+}
+
+bool verify_query(const adscrypto::AccumulatorParams& params,
+                  const bigint::BigUint& ac,
+                  std::span<const SearchToken> tokens,
+                  std::span<const TokenReply> replies,
+                  std::size_t prime_bits) {
+  if (tokens.size() != replies.size()) return false;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!verify_reply(params, ac, tokens[i], replies[i], prime_bits))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace slicer::core

@@ -1,0 +1,32 @@
+// Result verification — Algorithm 5 (Blockchain.Verify).
+//
+// Pure functions, deliberately free of any cloud/owner state: the verifier
+// sees only the search tokens, the returned encrypted results, the VOs and
+// the on-chain accumulator value. The same code runs standalone (local
+// verification) and inside the simulated smart contract (public
+// verification), which is the paper's fairness argument.
+#pragma once
+
+#include <span>
+
+#include "adscrypto/accumulator.hpp"
+#include "core/messages.hpp"
+
+namespace slicer::core {
+
+/// Verifies one (token, reply) pair against the accumulator value `ac`:
+/// recomputes the multiset hash of the results, re-derives the prime
+/// representative and checks the membership witness.
+bool verify_reply(const adscrypto::AccumulatorParams& params,
+                  const bigint::BigUint& ac, const SearchToken& token,
+                  const TokenReply& reply, std::size_t prime_bits = 64);
+
+/// Verifies a whole query (one reply per token). False on size mismatch or
+/// any failing pair — the contract refunds in that case.
+bool verify_query(const adscrypto::AccumulatorParams& params,
+                  const bigint::BigUint& ac,
+                  std::span<const SearchToken> tokens,
+                  std::span<const TokenReply> replies,
+                  std::size_t prime_bits = 64);
+
+}  // namespace slicer::core

@@ -1,0 +1,245 @@
+#include "crypto/aes128.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace slicer::crypto {
+
+namespace {
+
+// S-box computed at startup from the algebraic definition (multiplicative
+// inverse in GF(2^8) followed by the affine map) — avoids a 256-entry magic
+// table transcription error.
+struct SboxTables {
+  std::uint8_t sbox[256];
+  std::uint8_t inv_sbox[256];
+
+  SboxTables() {
+    // Build exp/log tables for GF(2^8) with generator 3.
+    std::uint8_t exp_tab[256];
+    std::uint8_t log_tab[256] = {0};
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp_tab[i] = x;
+      log_tab[x] = static_cast<std::uint8_t>(i);
+      // multiply x by 3 = x ^ xtime(x)
+      const std::uint8_t xt = static_cast<std::uint8_t>(
+          (x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+      x = static_cast<std::uint8_t>(x ^ xt);
+    }
+    exp_tab[255] = exp_tab[0];
+
+    for (int i = 0; i < 256; ++i) {
+      const std::uint8_t inv =
+          (i == 0) ? 0 : exp_tab[255 - log_tab[static_cast<std::uint8_t>(i)]];
+      // Affine transform: b ^ rot(b,1..4) ^ 0x63 where rot is left-rotate.
+      std::uint8_t s = inv;
+      std::uint8_t r = inv;
+      for (int k = 0; k < 4; ++k) {
+        r = static_cast<std::uint8_t>((r << 1) | (r >> 7));
+        s = static_cast<std::uint8_t>(s ^ r);
+      }
+      s = static_cast<std::uint8_t>(s ^ 0x63);
+      sbox[i] = s;
+    }
+    for (int i = 0; i < 256; ++i) inv_sbox[sbox[i]] = static_cast<std::uint8_t>(i);
+  }
+};
+
+const SboxTables& tables() {
+  static const SboxTables t;
+  return t;
+}
+
+inline std::uint8_t xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+inline std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p = static_cast<std::uint8_t>(p ^ a);
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+constexpr std::uint32_t kRcon[10] = {0x01000000, 0x02000000, 0x04000000,
+                                     0x08000000, 0x10000000, 0x20000000,
+                                     0x40000000, 0x80000000, 0x1b000000,
+                                     0x36000000};
+
+inline std::uint32_t sub_word(std::uint32_t w) {
+  const auto& t = tables();
+  return (static_cast<std::uint32_t>(t.sbox[(w >> 24) & 0xff]) << 24) |
+         (static_cast<std::uint32_t>(t.sbox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(t.sbox[(w >> 8) & 0xff]) << 8) |
+         static_cast<std::uint32_t>(t.sbox[w & 0xff]);
+}
+
+inline std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+}  // namespace
+
+Aes128::Aes128(BytesView key) {
+  if (key.size() != kKeySize) throw CryptoError("AES-128 key must be 16 bytes");
+  for (int i = 0; i < 4; ++i) {
+    round_keys_[static_cast<std::size_t>(i)] =
+        (static_cast<std::uint32_t>(key[4 * i]) << 24) |
+        (static_cast<std::uint32_t>(key[4 * i + 1]) << 16) |
+        (static_cast<std::uint32_t>(key[4 * i + 2]) << 8) |
+        static_cast<std::uint32_t>(key[4 * i + 3]);
+  }
+  for (int i = 4; i < 44; ++i) {
+    std::uint32_t temp = round_keys_[static_cast<std::size_t>(i - 1)];
+    if (i % 4 == 0) temp = sub_word(rot_word(temp)) ^ kRcon[i / 4 - 1];
+    round_keys_[static_cast<std::size_t>(i)] =
+        round_keys_[static_cast<std::size_t>(i - 4)] ^ temp;
+  }
+}
+
+void Aes128::encrypt_block(std::uint8_t block[kBlockSize]) const {
+  const auto& t = tables();
+  std::uint8_t s[16];
+  std::memcpy(s, block, 16);
+
+  auto add_round_key = [&](int round) {
+    for (int c = 0; c < 4; ++c) {
+      const std::uint32_t rk = round_keys_[static_cast<std::size_t>(4 * round + c)];
+      s[4 * c] ^= static_cast<std::uint8_t>(rk >> 24);
+      s[4 * c + 1] ^= static_cast<std::uint8_t>(rk >> 16);
+      s[4 * c + 2] ^= static_cast<std::uint8_t>(rk >> 8);
+      s[4 * c + 3] ^= static_cast<std::uint8_t>(rk);
+    }
+  };
+
+  auto sub_shift = [&]() {
+    for (int i = 0; i < 16; ++i) s[i] = t.sbox[s[i]];
+    // ShiftRows on column-major state s[4*col + row].
+    std::uint8_t tmp;
+    // row 1: rotate left 1
+    tmp = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = tmp;
+    // row 2: rotate left 2
+    std::swap(s[2], s[10]);
+    std::swap(s[6], s[14]);
+    // row 3: rotate left 3
+    tmp = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = tmp;
+  };
+
+  auto mix_columns = [&]() {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = &s[4 * c];
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+      col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+      col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+      col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round < 10; ++round) {
+    sub_shift();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_shift();
+  add_round_key(10);
+
+  std::memcpy(block, s, 16);
+}
+
+void Aes128::decrypt_block(std::uint8_t block[kBlockSize]) const {
+  const auto& t = tables();
+  std::uint8_t s[16];
+  std::memcpy(s, block, 16);
+
+  auto add_round_key = [&](int round) {
+    for (int c = 0; c < 4; ++c) {
+      const std::uint32_t rk = round_keys_[static_cast<std::size_t>(4 * round + c)];
+      s[4 * c] ^= static_cast<std::uint8_t>(rk >> 24);
+      s[4 * c + 1] ^= static_cast<std::uint8_t>(rk >> 16);
+      s[4 * c + 2] ^= static_cast<std::uint8_t>(rk >> 8);
+      s[4 * c + 3] ^= static_cast<std::uint8_t>(rk);
+    }
+  };
+
+  auto inv_sub_shift = [&]() {
+    std::uint8_t tmp;
+    // Inverse ShiftRows: row 1 rotate right 1.
+    tmp = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = tmp;
+    std::swap(s[2], s[10]);
+    std::swap(s[6], s[14]);
+    tmp = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = tmp;
+    for (int i = 0; i < 16; ++i) s[i] = t.inv_sbox[s[i]];
+  };
+
+  auto inv_mix_columns = [&]() {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = &s[4 * c];
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
+                                         gmul(a2, 13) ^ gmul(a3, 9));
+      col[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
+                                         gmul(a2, 11) ^ gmul(a3, 13));
+      col[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
+                                         gmul(a2, 14) ^ gmul(a3, 11));
+      col[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
+                                         gmul(a2, 9) ^ gmul(a3, 14));
+    }
+  };
+
+  add_round_key(10);
+  for (int round = 9; round >= 1; --round) {
+    inv_sub_shift();
+    add_round_key(round);
+    inv_mix_columns();
+  }
+  inv_sub_shift();
+  add_round_key(0);
+
+  std::memcpy(block, s, 16);
+}
+
+Bytes Aes128::encrypt_one(BytesView plain) const {
+  if (plain.size() != kBlockSize)
+    throw CryptoError("encrypt_one expects one 16-byte block");
+  Bytes out(plain.begin(), plain.end());
+  encrypt_block(out.data());
+  return out;
+}
+
+Bytes Aes128::decrypt_one(BytesView cipher) const {
+  if (cipher.size() != kBlockSize)
+    throw CryptoError("decrypt_one expects one 16-byte block");
+  Bytes out(cipher.begin(), cipher.end());
+  decrypt_block(out.data());
+  return out;
+}
+
+Bytes Aes128::ctr_crypt(BytesView nonce, BytesView data) const {
+  if (nonce.size() != kBlockSize)
+    throw CryptoError("CTR nonce must be 16 bytes");
+  Bytes out(data.begin(), data.end());
+  std::uint8_t counter[kBlockSize];
+  std::memcpy(counter, nonce.data(), kBlockSize);
+
+  std::size_t off = 0;
+  while (off < out.size()) {
+    std::uint8_t keystream[kBlockSize];
+    std::memcpy(keystream, counter, kBlockSize);
+    encrypt_block(keystream);
+    const std::size_t take = std::min(kBlockSize, out.size() - off);
+    for (std::size_t i = 0; i < take; ++i) out[off + i] ^= keystream[i];
+    off += take;
+    // Increment the counter block big-endian.
+    for (int i = kBlockSize - 1; i >= 0; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace slicer::crypto

@@ -1,0 +1,46 @@
+// AES-128 (FIPS 197), implemented from scratch, plus the two modes Slicer
+// needs:
+//   * deterministic single-block encryption of record ids (ids are unique,
+//     so determinism leaks only id equality, which never occurs), and
+//   * CTR mode for encrypting the record payloads that accompany ids.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace slicer::crypto {
+
+/// AES-128 block cipher with expanded round keys held by value.
+class Aes128 {
+ public:
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Expands a 16-byte key. Throws CryptoError on wrong key size.
+  explicit Aes128(BytesView key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[kBlockSize]) const;
+
+  /// Decrypts one 16-byte block in place.
+  void decrypt_block(std::uint8_t block[kBlockSize]) const;
+
+  /// Encrypts exactly one block; throws CryptoError unless
+  /// `plain.size() == 16`.
+  Bytes encrypt_one(BytesView plain) const;
+
+  /// Decrypts exactly one block; throws CryptoError unless
+  /// `cipher.size() == 16`.
+  Bytes decrypt_one(BytesView cipher) const;
+
+  /// CTR-mode keystream XOR: encrypt and decrypt are the same operation.
+  /// `nonce` must be 16 bytes and acts as the initial counter block.
+  Bytes ctr_crypt(BytesView nonce, BytesView data) const;
+
+ private:
+  std::array<std::uint32_t, 44> round_keys_;
+};
+
+}  // namespace slicer::crypto

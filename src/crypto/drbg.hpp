@@ -1,0 +1,53 @@
+// HMAC-DRBG (NIST SP 800-90A) over HMAC-SHA256.
+//
+// Deterministic when seeded explicitly — which is what tests and benchmarks
+// want — and seedable from the OS entropy pool for real use. All randomness
+// in the library (trapdoors, keys, prime search, shuffles) flows through
+// this generator so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.hpp"
+
+namespace slicer::crypto {
+
+/// Deterministic random bit generator.
+class Drbg {
+ public:
+  /// Instantiates from an explicit seed (any length).
+  explicit Drbg(BytesView seed);
+
+  /// Instantiates from the OS entropy pool (/dev/urandom).
+  static Drbg from_os_entropy();
+
+  /// Generates `n` pseudo-random bytes.
+  Bytes generate(std::size_t n);
+
+  /// Uniform integer in [0, bound) via rejection sampling. `bound` must be
+  /// non-zero.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Mixes additional entropy / domain-separation data into the state.
+  void reseed(BytesView data);
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+ private:
+  void update(BytesView provided);
+
+  Bytes key_;  // K, 32 bytes
+  Bytes v_;    // V, 32 bytes
+};
+
+}  // namespace slicer::crypto

@@ -1,0 +1,45 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+#include "crypto/sha256.hpp"
+
+namespace slicer::crypto {
+
+Bytes hmac_sha256(BytesView key, BytesView msg) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+
+  std::array<std::uint8_t, kBlock> k0{};
+  if (key.size() > kBlock) {
+    const Bytes kh = Sha256::digest(key);
+    std::copy(kh.begin(), kh.end(), k0.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k0.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad{};
+  std::array<std::uint8_t, kBlock> opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(msg);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  const auto tag = outer.finish();
+  return Bytes(tag.begin(), tag.end());
+}
+
+Bytes hmac_sha256_128(BytesView key, BytesView msg) {
+  Bytes tag = hmac_sha256(key, msg);
+  tag.resize(16);
+  return tag;
+}
+
+}  // namespace slicer::crypto

@@ -1,0 +1,17 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// Slicer instantiates both PRFs F and G with HMAC-SHA256 (the paper uses
+// HMAC-128; we truncate to 16 bytes where a 128-bit lane is required).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace slicer::crypto {
+
+/// HMAC-SHA256(key, msg) — full 32-byte tag.
+Bytes hmac_sha256(BytesView key, BytesView msg);
+
+/// HMAC-SHA256 truncated to the first 16 bytes (a 128-bit PRF lane).
+Bytes hmac_sha256_128(BytesView key, BytesView msg);
+
+}  // namespace slicer::crypto

@@ -1,0 +1,23 @@
+#include "crypto/prf.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace slicer::crypto {
+
+Bytes prf_f(BytesView key, BytesView msg) {
+  return hmac_sha256_128(key, msg);
+}
+
+Bytes prf_g(BytesView key, BytesView msg) {
+  return hmac_sha256(key, msg);
+}
+
+KeywordKeys derive_keyword_keys(BytesView master_key, BytesView keyword) {
+  Bytes m1(keyword.begin(), keyword.end());
+  m1.push_back(0x01);
+  Bytes m2(keyword.begin(), keyword.end());
+  m2.push_back(0x02);
+  return KeywordKeys{prf_g(master_key, m1), prf_g(master_key, m2)};
+}
+
+}  // namespace slicer::crypto

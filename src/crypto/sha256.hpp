@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used as the hash behind HMAC (our PRFs F and G), the multiset hash's
+// hash-to-field, the prime-representative oracle H_prime, and the block
+// hash chain of the simulated blockchain.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace slicer::crypto {
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs `data` into the hash state.
+  void update(BytesView data);
+
+  /// Finalizes and returns the 32-byte digest. The context must not be
+  /// updated afterwards; construct a fresh one for a new message.
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  /// One-shot convenience: SHA-256(data).
+  static Bytes digest(BytesView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace slicer::crypto

@@ -1,0 +1,114 @@
+#include "workload/workload.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/errors.hpp"
+#include "sore/sore.hpp"
+
+namespace slicer::workload {
+
+namespace {
+
+std::uint64_t domain_of(std::size_t bits) {
+  if (bits == 0 || bits > 63)
+    throw CryptoError("workload: bits must be in [1, 63]");
+  return 1ull << bits;
+}
+
+/// Zipf(s=1) over a 1024-rank head mapped across the domain: rank r gets
+/// probability ∝ 1/r. Sampled by inverse CDF over precomputed weights.
+std::uint64_t sample_zipf(crypto::Drbg& rng, std::uint64_t domain) {
+  constexpr std::size_t kRanks = 1024;
+  static const std::vector<double> cdf = [] {
+    std::vector<double> out(kRanks);
+    double total = 0;
+    for (std::size_t r = 0; r < kRanks; ++r) {
+      total += 1.0 / static_cast<double>(r + 1);
+      out[r] = total;
+    }
+    for (double& v : out) v /= total;
+    return out;
+  }();
+  const double u =
+      static_cast<double>(rng.uniform(1u << 30)) / static_cast<double>(1u << 30);
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const std::size_t rank =
+      static_cast<std::size_t>(std::distance(cdf.begin(), it));
+  // Spread ranks deterministically across the domain so the head values are
+  // scattered, not consecutive.
+  const std::uint64_t stride = std::max<std::uint64_t>(1, domain / kRanks);
+  return (static_cast<std::uint64_t>(rank) * stride * 2'654'435'761ull) %
+         domain;
+}
+
+/// Approximate Gaussian via Irwin–Hall (sum of 8 uniforms), centred on the
+/// domain midpoint with σ ≈ domain/8.
+std::uint64_t sample_gaussian(crypto::Drbg& rng, std::uint64_t domain) {
+  double sum = 0;
+  for (int i = 0; i < 8; ++i)
+    sum += static_cast<double>(rng.uniform(1u << 20)) /
+           static_cast<double>(1u << 20);
+  // sum ∈ [0,8], mean 4, sd sqrt(8/12)≈0.816.
+  const double z = (sum - 4.0) / 0.8165;  // ~N(0,1)
+  const double centred =
+      static_cast<double>(domain) / 2.0 + z * static_cast<double>(domain) / 8.0;
+  if (centred < 0) return 0;
+  if (centred >= static_cast<double>(domain)) return domain - 1;
+  return static_cast<std::uint64_t>(centred);
+}
+
+std::uint64_t sample_clustered(crypto::Drbg& rng, std::uint64_t domain) {
+  constexpr std::uint64_t kClusters = 8;
+  // Fixed, scattered cluster centres; tight spread around each.
+  const std::uint64_t cluster = rng.uniform(kClusters);
+  const std::uint64_t centre =
+      (cluster * 2'654'435'761ull + 12'345) % domain;
+  const std::uint64_t spread = std::max<std::uint64_t>(1, domain / 256);
+  const std::uint64_t offset = rng.uniform(2 * spread);
+  const std::uint64_t lo = centre > spread ? centre - spread : 0;
+  const std::uint64_t v = lo + offset;
+  return v < domain ? v : domain - 1;
+}
+
+}  // namespace
+
+const char* distribution_name(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kZipf: return "zipf";
+    case Distribution::kGaussian: return "gaussian";
+    case Distribution::kClustered: return "clustered";
+  }
+  return "?";
+}
+
+std::uint64_t sample_value(crypto::Drbg& rng, Distribution dist,
+                           std::size_t bits) {
+  const std::uint64_t domain = domain_of(bits);
+  switch (dist) {
+    case Distribution::kUniform: return rng.uniform(domain);
+    case Distribution::kZipf: return sample_zipf(rng, domain);
+    case Distribution::kGaussian: return sample_gaussian(rng, domain);
+    case Distribution::kClustered: return sample_clustered(rng, domain);
+  }
+  throw CryptoError("workload: unknown distribution");
+}
+
+std::vector<core::Record> generate(crypto::Drbg& rng, Distribution dist,
+                                   std::size_t bits, std::size_t count,
+                                   std::uint64_t id_base) {
+  std::vector<core::Record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(core::Record{id_base + i, sample_value(rng, dist, bits)});
+  return out;
+}
+
+std::size_t distinct_values(const std::vector<core::Record>& records) {
+  std::unordered_set<std::uint64_t> seen;
+  for (const core::Record& r : records) seen.insert(r.value);
+  return seen.size();
+}
+
+}  // namespace slicer::workload

@@ -1,0 +1,41 @@
+// Workload generation for benchmarks and examples.
+//
+// The paper evaluates on uniformly random values; real numerical columns
+// (ages, transaction amounts, sensor readings) are skewed, and Slicer's
+// costs are sensitive to the *distinct-keyword* count, which duplicates
+// suppress. This module provides the distributions the distribution
+// ablation sweeps (bench/ablation_distribution.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "crypto/drbg.hpp"
+
+namespace slicer::workload {
+
+/// Value distributions over the b-bit domain.
+enum class Distribution {
+  kUniform,    // the paper's workload
+  kZipf,       // heavy head: few values account for most records
+  kGaussian,   // concentrated around the domain midpoint
+  kClustered,  // a handful of tight clusters (e.g. price points)
+};
+
+const char* distribution_name(Distribution d);
+
+/// Generates `count` records with `bits`-wide values drawn from `dist`.
+/// Deterministic given the DRBG state.
+std::vector<core::Record> generate(crypto::Drbg& rng, Distribution dist,
+                                   std::size_t bits, std::size_t count,
+                                   std::uint64_t id_base = 1);
+
+/// Draws one value from `dist` (the primitive behind generate).
+std::uint64_t sample_value(crypto::Drbg& rng, Distribution dist,
+                           std::size_t bits);
+
+/// Number of distinct values in a record set (keyword-pressure metric).
+std::size_t distinct_values(const std::vector<core::Record>& records);
+
+}  // namespace slicer::workload

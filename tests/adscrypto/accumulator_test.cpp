@@ -1,0 +1,249 @@
+#include "adscrypto/accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adscrypto/hash_to_prime.hpp"
+#include "adscrypto/params.hpp"
+#include "bigint/primes.hpp"
+#include "common/errors.hpp"
+
+namespace slicer::adscrypto {
+namespace {
+
+using bigint::BigUint;
+
+crypto::Drbg test_rng() { return crypto::Drbg(str_bytes("acc-test")); }
+
+std::vector<BigUint> sample_primes(std::size_t n) {
+  std::vector<BigUint> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(hash_to_prime(be64(i)));
+  return out;
+}
+
+class AccumulatorTest : public ::testing::Test {
+ protected:
+  AccumulatorTest() : rng_(test_rng()) {
+    auto [params, trapdoor] = RsaAccumulator::setup(rng_, 256);
+    params_ = params;
+    trapdoor_ = trapdoor;
+  }
+
+  crypto::Drbg rng_;
+  AccumulatorParams params_;
+  AccumulatorTrapdoor trapdoor_;
+};
+
+TEST_F(AccumulatorTest, EmptySetAccumulatesToGenerator) {
+  const RsaAccumulator acc(params_);
+  EXPECT_EQ(acc.accumulate({}), params_.generator);
+}
+
+TEST_F(AccumulatorTest, TrapdoorPathMatchesPublicPath) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(17);
+  EXPECT_EQ(acc.accumulate(primes), acc.accumulate(primes, trapdoor_));
+}
+
+TEST_F(AccumulatorTest, WitnessVerifies) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(9);
+  const BigUint ac = acc.accumulate(primes);
+  for (std::size_t i = 0; i < primes.size(); ++i) {
+    const BigUint w = acc.witness(primes, i);
+    EXPECT_TRUE(RsaAccumulator::verify(params_, ac, primes[i], w)) << i;
+  }
+}
+
+TEST_F(AccumulatorTest, NonMemberFailsVerification) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(9);
+  const BigUint ac = acc.accumulate(primes);
+  const BigUint w = acc.witness(primes, 0);
+  const BigUint outsider = hash_to_prime(str_bytes("not-a-member"));
+  EXPECT_FALSE(RsaAccumulator::verify(params_, ac, outsider, w));
+}
+
+TEST_F(AccumulatorTest, WrongWitnessFailsVerification) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(9);
+  const BigUint ac = acc.accumulate(primes);
+  const BigUint w_wrong = acc.witness(primes, 1);  // witness for a different member
+  EXPECT_FALSE(RsaAccumulator::verify(params_, ac, primes[0], w_wrong));
+}
+
+TEST_F(AccumulatorTest, StaleAccumulatorFailsVerification) {
+  // Freshness: a witness against an outdated Ac must not verify against the
+  // updated Ac stored on chain.
+  const RsaAccumulator acc(params_);
+  auto primes = sample_primes(5);
+  const BigUint w_old = acc.witness(primes, 0);
+  const BigUint ac_old = acc.accumulate(primes);
+  primes.push_back(hash_to_prime(str_bytes("new-insertion")));
+  const BigUint ac_new = acc.accumulate(primes);
+  ASSERT_NE(ac_old, ac_new);
+  EXPECT_FALSE(RsaAccumulator::verify(params_, ac_new, primes[0], w_old));
+  // The refreshed witness verifies again.
+  EXPECT_TRUE(RsaAccumulator::verify(params_, ac_new, primes[0],
+                                     acc.witness(primes, 0)));
+}
+
+TEST_F(AccumulatorTest, AllWitnessesMatchIndividual) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(13);  // odd size exercises uneven splits
+  const auto all = acc.all_witnesses(primes);
+  ASSERT_EQ(all.size(), primes.size());
+  for (std::size_t i = 0; i < primes.size(); ++i) {
+    EXPECT_EQ(all[i], acc.witness(primes, i)) << i;
+  }
+}
+
+TEST_F(AccumulatorTest, AllWitnessesSingleElement) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(1);
+  const auto all = acc.all_witnesses(primes);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], params_.generator);
+  EXPECT_TRUE(RsaAccumulator::verify(params_, acc.accumulate(primes),
+                                     primes[0], all[0]));
+}
+
+TEST_F(AccumulatorTest, WitnessIndexOutOfRangeThrows) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(3);
+  EXPECT_THROW(acc.witness(primes, 3), CryptoError);
+}
+
+TEST_F(AccumulatorTest, OrderIndependentAccumulation) {
+  const RsaAccumulator acc(params_);
+  auto primes = sample_primes(8);
+  const BigUint ac1 = acc.accumulate(primes);
+  std::reverse(primes.begin(), primes.end());
+  EXPECT_EQ(acc.accumulate(primes), ac1);
+}
+
+TEST_F(AccumulatorTest, ParamsSerializeRoundTrip) {
+  const Bytes wire = params_.serialize();
+  const AccumulatorParams back = AccumulatorParams::deserialize(wire);
+  EXPECT_EQ(back.modulus, params_.modulus);
+  EXPECT_EQ(back.generator, params_.generator);
+}
+
+TEST_F(AccumulatorTest, VerifyRejectsOutOfRangeWitness) {
+  const auto primes = sample_primes(2);
+  const RsaAccumulator acc(params_);
+  const BigUint ac = acc.accumulate(primes);
+  EXPECT_FALSE(RsaAccumulator::verify(params_, ac, primes[0], BigUint{}));
+  EXPECT_FALSE(RsaAccumulator::verify(params_, ac, primes[0], params_.modulus));
+}
+
+TEST(Accumulator, DefaultParams1024WorkEndToEnd) {
+  const AccumulatorParams& params = default_accumulator_params();
+  // Two 512-bit primes multiply to a 1023- or 1024-bit modulus.
+  EXPECT_GE(params.modulus.bit_length(), 1023u);
+  EXPECT_LE(params.modulus.bit_length(), 1024u);
+  const RsaAccumulator acc(params);
+  std::vector<BigUint> primes;
+  for (std::size_t i = 0; i < 4; ++i)
+    primes.push_back(hash_to_prime(be64(1000 + i)));
+  const BigUint ac = acc.accumulate(primes);
+  const BigUint w = acc.witness(primes, 2);
+  EXPECT_TRUE(RsaAccumulator::verify(params, ac, primes[2], w));
+  EXPECT_FALSE(RsaAccumulator::verify(params, ac, primes[1], w));
+}
+
+TEST(Accumulator, SetupRejectsTinyModulus) {
+  auto rng = test_rng();
+  EXPECT_THROW(RsaAccumulator::setup(rng, 16), CryptoError);
+}
+
+TEST(Accumulator, SafePrimeSetupProducesWorkingParams) {
+  auto rng = test_rng();
+  auto [params, trapdoor] = RsaAccumulator::setup(rng, 128, /*safe=*/true);
+  const RsaAccumulator acc(params);
+  std::vector<BigUint> primes = {hash_to_prime(str_bytes("sp"))};
+  const BigUint ac = acc.accumulate(primes);
+  EXPECT_TRUE(
+      RsaAccumulator::verify(params, ac, primes[0], acc.witness(primes, 0)));
+  // p and q are genuinely safe primes.
+  const BigUint p_half = (trapdoor.p - BigUint(1)) >> 1;
+  const BigUint q_half = (trapdoor.q - BigUint(1)) >> 1;
+  EXPECT_TRUE(bigint::is_probable_prime(trapdoor.p, rng));
+  EXPECT_TRUE(bigint::is_probable_prime(p_half, rng));
+  EXPECT_TRUE(bigint::is_probable_prime(trapdoor.q, rng));
+  EXPECT_TRUE(bigint::is_probable_prime(q_half, rng));
+}
+
+TEST_F(AccumulatorTest, NonMembershipWitnessVerifies) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(8);
+  const BigUint ac = acc.accumulate(primes);
+  const BigUint outsider = hash_to_prime(str_bytes("absent-element"));
+  const auto w = acc.nonmember_witness(primes, outsider);
+  EXPECT_TRUE(RsaAccumulator::verify_nonmember(params_, ac, outsider, w));
+}
+
+TEST_F(AccumulatorTest, NonMembershipOnEmptySet) {
+  const RsaAccumulator acc(params_);
+  const BigUint ac = acc.accumulate({});
+  const BigUint x = hash_to_prime(str_bytes("anything"));
+  const auto w = acc.nonmember_witness({}, x);
+  EXPECT_TRUE(RsaAccumulator::verify_nonmember(params_, ac, x, w));
+}
+
+TEST_F(AccumulatorTest, NonMembershipRefusesMembers) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(5);
+  EXPECT_THROW(acc.nonmember_witness(primes, primes[2]), CryptoError);
+}
+
+TEST_F(AccumulatorTest, NonMembershipFailsForMembers) {
+  // A witness for one outsider must not "prove" non-membership of a member.
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(5);
+  const BigUint ac = acc.accumulate(primes);
+  const BigUint outsider = hash_to_prime(str_bytes("outsider"));
+  const auto w = acc.nonmember_witness(primes, outsider);
+  EXPECT_FALSE(RsaAccumulator::verify_nonmember(params_, ac, primes[0], w));
+}
+
+TEST_F(AccumulatorTest, NonMembershipStaleAfterUpdate) {
+  // Freshness also holds for absence: once the element is inserted, the old
+  // non-membership witness fails against the new Ac.
+  const RsaAccumulator acc(params_);
+  auto primes = sample_primes(5);
+  const BigUint x = hash_to_prime(str_bytes("late-arrival"));
+  const auto w = acc.nonmember_witness(primes, x);
+  EXPECT_TRUE(RsaAccumulator::verify_nonmember(params_, acc.accumulate(primes),
+                                               x, w));
+  primes.push_back(x);
+  EXPECT_FALSE(RsaAccumulator::verify_nonmember(
+      params_, acc.accumulate(primes), x, w));
+}
+
+TEST_F(AccumulatorTest, NonMembershipRejectsForgedWitness) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(5);
+  const BigUint ac = acc.accumulate(primes);
+  const BigUint outsider = hash_to_prime(str_bytes("outsider2"));
+  auto w = acc.nonmember_witness(primes, outsider);
+  w.d = w.d + BigUint(1);
+  EXPECT_FALSE(RsaAccumulator::verify_nonmember(params_, ac, outsider, w));
+  auto w2 = acc.nonmember_witness(primes, outsider);
+  w2.a = BigUint{};  // out of range
+  EXPECT_FALSE(RsaAccumulator::verify_nonmember(params_, ac, outsider, w2));
+  auto w3 = acc.nonmember_witness(primes, outsider);
+  w3.a = outsider;  // a must be < x
+  EXPECT_FALSE(RsaAccumulator::verify_nonmember(params_, ac, outsider, w3));
+}
+
+TEST(Accumulator, ProductTree) {
+  std::vector<BigUint> vals = {BigUint(2), BigUint(3), BigUint(5), BigUint(7),
+                               BigUint(11)};
+  EXPECT_EQ(product_tree(vals), BigUint(2310));
+  EXPECT_EQ(product_tree({}), BigUint(1));
+  EXPECT_EQ(product_tree(std::span<const BigUint>(vals.data(), 1)), BigUint(2));
+}
+
+}  // namespace
+}  // namespace slicer::adscrypto

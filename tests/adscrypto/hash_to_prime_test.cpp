@@ -1,0 +1,54 @@
+#include "adscrypto/hash_to_prime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bigint/primes.hpp"
+#include "common/errors.hpp"
+
+namespace slicer::adscrypto {
+namespace {
+
+TEST(HashToPrime, Deterministic) {
+  const auto a = hash_to_prime(str_bytes("hello"));
+  const auto b = hash_to_prime(str_bytes("hello"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(HashToPrime, OutputIsPrimeWithExactWidth) {
+  for (int i = 0; i < 50; ++i) {
+    const auto p = hash_to_prime(be64(static_cast<std::uint64_t>(i)));
+    EXPECT_EQ(p.bit_length(), kDefaultPrimeBits) << i;
+    EXPECT_TRUE(bigint::is_probable_prime_fixed(p)) << i;
+  }
+}
+
+TEST(HashToPrime, ConfigurableWidths) {
+  for (std::size_t bits : {16u, 32u, 80u, 128u, 256u}) {
+    const auto p = hash_to_prime(str_bytes("x"), bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(bigint::is_probable_prime_fixed(p));
+  }
+}
+
+TEST(HashToPrime, DistinctInputsGiveDistinctPrimes) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(hash_to_prime(be64(static_cast<std::uint64_t>(i))).to_hex());
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(HashToPrime, InputSensitivity) {
+  EXPECT_NE(hash_to_prime(str_bytes("a")), hash_to_prime(str_bytes("b")));
+  EXPECT_NE(hash_to_prime(Bytes{}), hash_to_prime(Bytes{0x00}));
+}
+
+TEST(HashToPrime, RejectsBadWidths) {
+  EXPECT_THROW(hash_to_prime(str_bytes("x"), 8), CryptoError);
+  EXPECT_THROW(hash_to_prime(str_bytes("x"), 257), CryptoError);
+}
+
+}  // namespace
+}  // namespace slicer::adscrypto

@@ -1,0 +1,61 @@
+#include "baseline/chenette_ore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace slicer::baseline {
+namespace {
+
+class OreExhaustive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OreExhaustive, CompareMatchesPlaintextOrder) {
+  const std::size_t bits = GetParam();
+  const ChenetteOre ore(str_bytes("ore-key"), bits);
+  const std::uint64_t domain = 1ull << bits;
+  for (std::uint64_t x = 0; x < domain; ++x) {
+    const auto cx = ore.encrypt(x);
+    for (std::uint64_t y = 0; y < domain; ++y) {
+      const auto cy = ore.encrypt(y);
+      const int expect = x < y ? -1 : (x > y ? 1 : 0);
+      ASSERT_EQ(ChenetteOre::compare(cx, cy), expect)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, OreExhaustive, ::testing::Values(1, 3, 5));
+
+TEST(ChenetteOre, WideValuesSpotChecks) {
+  const ChenetteOre ore(str_bytes("k"), 32);
+  const auto a = ore.encrypt(1'000'000);
+  const auto b = ore.encrypt(1'000'001);
+  const auto c = ore.encrypt(1'000'000);
+  EXPECT_EQ(ChenetteOre::compare(a, b), -1);
+  EXPECT_EQ(ChenetteOre::compare(b, a), 1);
+  EXPECT_EQ(ChenetteOre::compare(a, c), 0);
+}
+
+TEST(ChenetteOre, CiphertextWidthEqualsBits) {
+  const ChenetteOre ore(str_bytes("k"), 24);
+  EXPECT_EQ(ore.encrypt(5).digits.size(), 24u);
+}
+
+TEST(ChenetteOre, DifferentKeysProduceDifferentCiphertexts) {
+  const ChenetteOre a(str_bytes("k1"), 16);
+  const ChenetteOre b(str_bytes("k2"), 16);
+  EXPECT_NE(a.encrypt(12345).digits, b.encrypt(12345).digits);
+}
+
+TEST(ChenetteOre, Validation) {
+  EXPECT_THROW(ChenetteOre(str_bytes("k"), 0), CryptoError);
+  EXPECT_THROW(ChenetteOre(str_bytes("k"), 65), CryptoError);
+  const ChenetteOre ore(str_bytes("k"), 8);
+  EXPECT_THROW(ore.encrypt(256), CryptoError);
+  const ChenetteOre wide(str_bytes("k"), 16);
+  EXPECT_THROW(ChenetteOre::compare(ore.encrypt(1), wide.encrypt(1)),
+               CryptoError);
+}
+
+}  // namespace
+}  // namespace slicer::baseline

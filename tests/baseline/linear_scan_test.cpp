@@ -1,0 +1,47 @@
+#include "baseline/linear_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace slicer::baseline {
+namespace {
+
+using core::MatchCondition;
+
+TEST(OreScanStore, MatchesPlainScan) {
+  OreScanStore store(str_bytes("scan-key"), 16);
+  const std::vector<std::pair<core::RecordId, std::uint64_t>> data = {
+      {1, 100}, {2, 200}, {3, 150}, {4, 100}, {5, 65535}, {6, 0}};
+  for (const auto& [id, v] : data) store.insert(id, v);
+  EXPECT_EQ(store.size(), data.size());
+
+  auto expect = [&](std::uint64_t q, MatchCondition mc) {
+    std::vector<core::RecordId> out;
+    for (const auto& [id, v] : data) {
+      if ((mc == MatchCondition::kEqual && v == q) ||
+          (mc == MatchCondition::kGreater && v > q) ||
+          (mc == MatchCondition::kLess && v < q))
+        out.push_back(id);
+    }
+    return out;
+  };
+
+  for (std::uint64_t q : {0ull, 100ull, 150ull, 199ull, 65535ull}) {
+    for (const MatchCondition mc :
+         {MatchCondition::kEqual, MatchCondition::kGreater,
+          MatchCondition::kLess}) {
+      auto got = store.query(q, mc);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expect(q, mc)) << "q=" << q;
+    }
+  }
+}
+
+TEST(OreScanStore, EmptyStore) {
+  OreScanStore store(str_bytes("k"), 8);
+  EXPECT_TRUE(store.query(10, MatchCondition::kGreater).empty());
+}
+
+}  // namespace
+}  // namespace slicer::baseline

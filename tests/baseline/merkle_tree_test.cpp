@@ -1,0 +1,84 @@
+#include "baseline/merkle_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace slicer::baseline {
+namespace {
+
+std::vector<Bytes> make_leaves(std::size_t n) {
+  std::vector<Bytes> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(be64(i * 37));
+  return out;
+}
+
+class MerkleSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleSizes, AllProofsVerify) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MerkleProof proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], proof)) << i;
+  }
+}
+
+// Powers of two, odd sizes, and 1 exercise the duplicate-last-node rule.
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 31));
+
+TEST(MerkleTree, WrongLeafFails) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(3);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), be64(999), proof));
+}
+
+TEST(MerkleTree, WrongIndexFails) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(3);
+  proof.leaf_index = 4;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[3], proof));
+}
+
+TEST(MerkleTree, TamperedSiblingFails) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(0);
+  proof.siblings[1][0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[0], proof));
+}
+
+TEST(MerkleTree, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const MerkleTree before(leaves);
+  leaves[5][0] ^= 1;
+  const MerkleTree after(leaves);
+  EXPECT_NE(before.root(), after.root());
+}
+
+TEST(MerkleTree, ProofSizeIsLogarithmic) {
+  const MerkleTree small(make_leaves(8));
+  const MerkleTree large(make_leaves(1024));
+  EXPECT_EQ(small.prove(0).siblings.size(), 3u);
+  EXPECT_EQ(large.prove(0).siblings.size(), 10u);
+  EXPECT_EQ(large.prove(0).byte_size(), 8u + 10u * 32u);
+}
+
+TEST(MerkleTree, OutOfRangeProofThrows) {
+  const MerkleTree tree(make_leaves(4));
+  EXPECT_THROW(tree.prove(4), CryptoError);
+}
+
+TEST(MerkleTree, DuplicateLeavesEachProvable) {
+  std::vector<Bytes> leaves = {be64(7), be64(7), be64(7)};
+  const MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), be64(7), tree.prove(i)));
+}
+
+}  // namespace
+}  // namespace slicer::baseline

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "bigint/biguint.hpp"
+#include "bigint/primes.hpp"
+
+namespace slicer::bigint {
+namespace {
+
+/// Checks s·a + t·b == g with signed coefficients.
+void check_bezout(const BigUint& a, const BigUint& b) {
+  const auto e = BigUint::ext_gcd(a, b);
+  EXPECT_EQ(e.gcd, BigUint::gcd(a, b));
+  // Assemble the signed sum: positive parts minus negative parts.
+  BigUint pos{}, neg{};
+  const BigUint xa = e.x * a;
+  const BigUint yb = e.y * b;
+  (e.x_negative ? neg : pos) += xa;
+  (e.y_negative ? neg : pos) += yb;
+  ASSERT_GE(pos, neg);
+  EXPECT_EQ(pos - neg, e.gcd) << a.to_hex() << " / " << b.to_hex();
+}
+
+TEST(ExtGcd, SmallKnownCases) {
+  check_bezout(BigUint(240), BigUint(46));   // gcd 2
+  check_bezout(BigUint(17), BigUint(5));     // coprime
+  check_bezout(BigUint(5), BigUint(17));     // swapped
+  check_bezout(BigUint(12), BigUint(8));
+  check_bezout(BigUint(1), BigUint(999));
+  check_bezout(BigUint(999), BigUint(1));
+}
+
+TEST(ExtGcd, ZeroEdges) {
+  const auto e = BigUint::ext_gcd(BigUint{}, BigUint(7));
+  EXPECT_EQ(e.gcd, BigUint(7));
+  const auto e2 = BigUint::ext_gcd(BigUint(7), BigUint{});
+  EXPECT_EQ(e2.gcd, BigUint(7));
+}
+
+TEST(ExtGcd, LargeRandomPairs) {
+  crypto::Drbg rng(str_bytes("egcd"));
+  for (int i = 0; i < 25; ++i) {
+    const BigUint a = random_bits(rng, 200 + i * 7);
+    const BigUint b = random_bits(rng, 150 + i * 5);
+    check_bezout(a, b);
+  }
+}
+
+TEST(ExtGcd, CoprimePrimeProducts) {
+  crypto::Drbg rng(str_bytes("egcd2"));
+  // u = product of several primes, x a fresh prime: gcd must be 1 and the
+  // Bézout identity is exactly what non-membership witnesses need.
+  BigUint u(1);
+  for (int i = 0; i < 10; ++i) u *= generate_prime(rng, 48);
+  const BigUint x = generate_prime(rng, 48);
+  const auto e = BigUint::ext_gcd(u, x);
+  EXPECT_TRUE(e.gcd.is_one());
+  check_bezout(u, x);
+}
+
+TEST(ExtGcd, MatchesModInverse) {
+  // For coprime (a, m): the Bézout x-coefficient reduced mod m equals the
+  // modular inverse of a.
+  const BigUint m = BigUint::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  const BigUint a = BigUint::from_hex("123456789abcdef");
+  const auto e = BigUint::ext_gcd(a, m);
+  ASSERT_TRUE(e.gcd.is_one());
+  BigUint coeff = e.x % m;
+  if (e.x_negative && !coeff.is_zero()) coeff = m - coeff;
+  EXPECT_EQ(coeff, BigUint::mod_inverse(a, m));
+}
+
+}  // namespace
+}  // namespace slicer::bigint

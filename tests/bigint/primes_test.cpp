@@ -1,0 +1,101 @@
+#include "bigint/primes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace slicer::bigint {
+namespace {
+
+crypto::Drbg test_rng() { return crypto::Drbg(str_bytes("primes-test-seed")); }
+
+TEST(Primes, SmallKnownPrimes) {
+  auto rng = test_rng();
+  for (std::uint64_t p : {2u, 3u, 5u, 7u, 97u, 251u, 257u, 65537u}) {
+    EXPECT_TRUE(is_probable_prime(BigUint(p), rng)) << p;
+  }
+}
+
+TEST(Primes, SmallKnownComposites) {
+  auto rng = test_rng();
+  for (std::uint64_t c : {0u, 1u, 4u, 9u, 15u, 91u, 561u, 1105u, 65536u}) {
+    EXPECT_FALSE(is_probable_prime(BigUint(c), rng)) << c;
+  }
+}
+
+TEST(Primes, CarmichaelNumbersRejected) {
+  auto rng = test_rng();
+  // Carmichael numbers fool Fermat but not Miller–Rabin.
+  for (std::uint64_t c : {561u, 1105u, 1729u, 2465u, 2821u, 6601u, 8911u}) {
+    EXPECT_FALSE(is_probable_prime(BigUint(c), rng)) << c;
+  }
+}
+
+TEST(Primes, LargeKnownPrime) {
+  auto rng = test_rng();
+  // 2^127 - 1 is a Mersenne prime.
+  const BigUint m127 = (BigUint(1) << 127) - BigUint(1);
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+  // 2^128 - 1 is composite.
+  EXPECT_FALSE(is_probable_prime((BigUint(1) << 128) - BigUint(1), rng));
+}
+
+TEST(Primes, Secp256k1FieldPrime) {
+  auto rng = test_rng();
+  const BigUint p = BigUint::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  EXPECT_TRUE(is_probable_prime(p, rng));
+}
+
+TEST(Primes, ProductOfTwoPrimesIsComposite) {
+  auto rng = test_rng();
+  const BigUint p = generate_prime(rng, 96);
+  const BigUint q = generate_prime(rng, 96);
+  EXPECT_FALSE(is_probable_prime(p * q, rng));
+}
+
+TEST(Primes, GeneratePrimeHasExactWidthAndIsPrime) {
+  auto rng = test_rng();
+  for (std::size_t bits : {16u, 48u, 64u, 128u, 256u}) {
+    const BigUint p = generate_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(Primes, GenerateSafePrime) {
+  auto rng = test_rng();
+  const BigUint p = generate_safe_prime(rng, 64);
+  EXPECT_EQ(p.bit_length(), 64u);
+  EXPECT_TRUE(is_probable_prime(p, rng));
+  const BigUint q = (p - BigUint(1)) >> 1;
+  EXPECT_TRUE(is_probable_prime(q, rng));
+}
+
+TEST(Primes, RandomBelowStaysBelow) {
+  auto rng = test_rng();
+  const BigUint bound = BigUint::from_hex("1000000000000000000000001");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(random_below(rng, bound), bound);
+  }
+}
+
+TEST(Primes, RandomBelowRejectsZero) {
+  auto rng = test_rng();
+  EXPECT_THROW(random_below(rng, BigUint{}), CryptoError);
+}
+
+TEST(Primes, RandomBitsExactWidth) {
+  auto rng = test_rng();
+  for (std::size_t bits : {2u, 7u, 64u, 65u, 100u}) {
+    EXPECT_EQ(random_bits(rng, bits).bit_length(), bits);
+  }
+}
+
+TEST(Primes, RandomBitsRejectsTiny) {
+  auto rng = test_rng();
+  EXPECT_THROW(random_bits(rng, 1), CryptoError);
+}
+
+}  // namespace
+}  // namespace slicer::bigint

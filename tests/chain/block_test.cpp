@@ -1,0 +1,112 @@
+#include "chain/block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slicer::chain {
+namespace {
+
+Block sample_block() {
+  Block b;
+  b.number = 7;
+  b.parent_hash = Bytes(32, 0xaa);
+  b.sealer = Address::from_label("sealer");
+  b.timestamp = 99;
+  Transaction tx;
+  tx.from = Address::from_label("a");
+  tx.to = Address::from_label("b");
+  tx.value = 5;
+  tx.nonce = 1;
+  b.transactions.push_back(tx);
+  b.tx_root = Block::compute_tx_root(b.transactions);
+  return b;
+}
+
+TEST(Block, HeaderHashDeterministic) {
+  EXPECT_EQ(sample_block().header_hash(), sample_block().header_hash());
+}
+
+TEST(Block, HeaderHashBindsEveryField) {
+  const Bytes base = sample_block().header_hash();
+  {
+    Block b = sample_block();
+    b.number = 8;
+    EXPECT_NE(b.header_hash(), base);
+  }
+  {
+    Block b = sample_block();
+    b.parent_hash[0] ^= 1;
+    EXPECT_NE(b.header_hash(), base);
+  }
+  {
+    Block b = sample_block();
+    b.sealer = Address::from_label("other");
+    EXPECT_NE(b.header_hash(), base);
+  }
+  {
+    Block b = sample_block();
+    b.timestamp = 100;
+    EXPECT_NE(b.header_hash(), base);
+  }
+  {
+    Block b = sample_block();
+    b.tx_root[5] ^= 1;
+    EXPECT_NE(b.header_hash(), base);
+  }
+}
+
+TEST(Block, TxRootBindsTransactions) {
+  Block b = sample_block();
+  const Bytes root = Block::compute_tx_root(b.transactions);
+  b.transactions[0].value = 6;
+  EXPECT_NE(Block::compute_tx_root(b.transactions), root);
+  b.transactions[0].value = 5;
+  EXPECT_EQ(Block::compute_tx_root(b.transactions), root);
+  b.transactions.clear();
+  EXPECT_NE(Block::compute_tx_root(b.transactions), root);
+}
+
+TEST(Block, TxRootSensitiveToOrder) {
+  Transaction t1, t2;
+  t1.from = Address::from_label("x");
+  t2.from = Address::from_label("y");
+  EXPECT_NE(Block::compute_tx_root({t1, t2}), Block::compute_tx_root({t2, t1}));
+}
+
+TEST(Transaction, HashBindsAllFields) {
+  Transaction tx;
+  tx.from = Address::from_label("a");
+  tx.to = Address::from_label("b");
+  tx.value = 5;
+  tx.nonce = 1;
+  tx.data = {1, 2, 3};
+  const Bytes base = tx.hash();
+  {
+    Transaction t = tx;
+    t.value = 6;
+    EXPECT_NE(t.hash(), base);
+  }
+  {
+    Transaction t = tx;
+    t.nonce = 2;
+    EXPECT_NE(t.hash(), base);
+  }
+  {
+    Transaction t = tx;
+    t.data.push_back(4);
+    EXPECT_NE(t.hash(), base);
+  }
+  {
+    Transaction t = tx;
+    t.to = Address::from_label("c");
+    EXPECT_NE(t.hash(), base);
+  }
+}
+
+TEST(Address, LabelsAreStableAndDistinct) {
+  EXPECT_EQ(Address::from_label("alice"), Address::from_label("alice"));
+  EXPECT_NE(Address::from_label("alice"), Address::from_label("bob"));
+  EXPECT_EQ(Address::from_label("alice").to_hex().size(), 42u);  // 0x + 40
+}
+
+}  // namespace
+}  // namespace slicer::chain

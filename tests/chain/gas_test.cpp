@@ -1,0 +1,44 @@
+#include "chain/gas.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slicer::chain {
+namespace {
+
+TEST(Gas, CalldataPerByte) {
+  const GasSchedule s;
+  EXPECT_EQ(calldata_gas(s, Bytes{}), 0u);
+  EXPECT_EQ(calldata_gas(s, Bytes{0x00, 0x00}), 8u);
+  EXPECT_EQ(calldata_gas(s, Bytes{0x01, 0xff}), 32u);
+  EXPECT_EQ(calldata_gas(s, Bytes{0x00, 0x01}), 20u);
+}
+
+TEST(Gas, Sha256Precompile) {
+  const GasSchedule s;
+  EXPECT_EQ(sha256_gas(s, 0), 60u);
+  EXPECT_EQ(sha256_gas(s, 1), 72u);
+  EXPECT_EQ(sha256_gas(s, 32), 72u);
+  EXPECT_EQ(sha256_gas(s, 33), 84u);
+}
+
+TEST(Gas, ModexpEip2565) {
+  const GasSchedule s;
+  // 1024-bit modulus (128 bytes), 64-bit exponent: 16^2 * 63 / 3 = 5376.
+  EXPECT_EQ(modexp_gas(s, 128, 64, 128), 5376u);
+  // Floor applies for tiny inputs.
+  EXPECT_EQ(modexp_gas(s, 8, 2, 8), 200u);
+}
+
+TEST(Gas, MeterAccumulatesAndCategorizes) {
+  const GasSchedule s;
+  GasMeter meter(s);
+  meter.charge(100, "a");
+  meter.charge(50, "b");
+  meter.charge(25, "a");
+  EXPECT_EQ(meter.used(), 175u);
+  EXPECT_EQ(meter.breakdown().at("a"), 125u);
+  EXPECT_EQ(meter.breakdown().at("b"), 50u);
+}
+
+}  // namespace
+}  // namespace slicer::chain

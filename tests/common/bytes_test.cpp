@@ -1,0 +1,83 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace slicer {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), DecodeError);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), DecodeError);
+}
+
+TEST(Bytes, Be64RoundTrip) {
+  EXPECT_EQ(to_hex(be64(0)), "0000000000000000");
+  EXPECT_EQ(to_hex(be64(0x0123456789abcdefULL)), "0123456789abcdef");
+  EXPECT_EQ(read_be64(be64(0xdeadbeefcafef00dULL)), 0xdeadbeefcafef00dULL);
+}
+
+TEST(Bytes, Be64RejectsWrongSize) {
+  EXPECT_THROW(read_be64(Bytes{1, 2, 3}), DecodeError);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = {4, 5};
+  EXPECT_EQ(concat(a, b), (Bytes{1, 2, 3}));
+  EXPECT_EQ(concat(a, b, c), (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(Bytes, AppendStringAndBytes) {
+  Bytes out = {1};
+  append(out, Bytes{2, 3});
+  append(out, std::string_view("A"));
+  EXPECT_EQ(out, (Bytes{1, 2, 3, 0x41}));
+}
+
+TEST(Bytes, XorBytes) {
+  const Bytes a = {0xff, 0x00, 0xaa};
+  const Bytes b = {0x0f, 0xf0, 0xaa};
+  EXPECT_EQ(xor_bytes(a, b), (Bytes{0xf0, 0xf0, 0x00}));
+}
+
+TEST(Bytes, XorRejectsSizeMismatch) {
+  EXPECT_THROW(xor_bytes(Bytes{1}, Bytes{1, 2}), CryptoError);
+}
+
+TEST(Bytes, XorIsInvolution) {
+  const Bytes a = {0x12, 0x34, 0x56};
+  const Bytes pad = {0x9a, 0xbc, 0xde};
+  EXPECT_EQ(xor_bytes(xor_bytes(a, pad), pad), a);
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, StrBytes) {
+  EXPECT_EQ(str_bytes("AB"), (Bytes{0x41, 0x42}));
+}
+
+}  // namespace
+}  // namespace slicer

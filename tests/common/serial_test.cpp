@@ -1,0 +1,74 @@
+#include "common/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace slicer {
+namespace {
+
+TEST(Serial, RoundTripAllTypes) {
+  Writer w;
+  w.u8(0xab);
+  w.u32(0x01020304);
+  w.u64(0x0102030405060708ULL);
+  w.bytes(Bytes{9, 8, 7});
+  w.str("hello");
+  w.raw(Bytes{0xee, 0xff});
+  const Bytes buf = std::move(w).take();
+
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0x01020304u);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.bytes(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.raw(2), (Bytes{0xee, 0xff}));
+  EXPECT_TRUE(r.empty());
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Serial, BigEndianLayout) {
+  Writer w;
+  w.u32(1);
+  EXPECT_EQ(w.view(), (Bytes{0, 0, 0, 1}));
+}
+
+TEST(Serial, EmptyByteString) {
+  Writer w;
+  w.bytes({});
+  Reader r(w.view());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Serial, UnderrunThrows) {
+  const Bytes buf = {0x01};
+  Reader r(buf);
+  EXPECT_THROW(r.u32(), DecodeError);
+}
+
+TEST(Serial, LengthPrefixUnderrunThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  Reader r(w.view());
+  EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(Serial, ExpectEndThrowsOnTrailing) {
+  const Bytes buf = {0x01, 0x02};
+  Reader r(buf);
+  r.u8();
+  EXPECT_THROW(r.expect_end(), DecodeError);
+}
+
+TEST(Serial, RemainingCountsDown) {
+  const Bytes buf = {1, 2, 3, 4};
+  Reader r(buf);
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u8();
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+}  // namespace
+}  // namespace slicer

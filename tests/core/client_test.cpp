@@ -1,0 +1,102 @@
+// QueryClient: high-level verifiable queries including interval search.
+#include "core/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "tests/core/test_rig.hpp"
+
+namespace slicer::core {
+namespace {
+
+using testing::Rig;
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : rig_(Rig::make(8, "client")) {
+    rig_.ingest({{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 30}, {6, 255},
+                 {7, 0}});
+    client_.emplace(*rig_.user, *rig_.cloud, rig_.config.prime_bits);
+  }
+
+  Rig rig_;
+  std::optional<QueryClient> client_;
+};
+
+TEST_F(ClientTest, PrimitiveConditions) {
+  auto eq = client_->equal(30);
+  EXPECT_TRUE(eq.verified);
+  EXPECT_EQ(eq.ids, (std::vector<RecordId>{3, 5}));
+
+  auto gt = client_->greater(40);
+  EXPECT_TRUE(gt.verified);
+  EXPECT_EQ(gt.ids, (std::vector<RecordId>{6}));
+
+  auto lt = client_->less(20);
+  EXPECT_TRUE(lt.verified);
+  EXPECT_EQ(lt.ids, (std::vector<RecordId>{1, 7}));
+}
+
+TEST_F(ClientTest, ExclusiveInterval) {
+  auto r = client_->between(10, 40);  // 10 < v < 40
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.ids, (std::vector<RecordId>{2, 3, 5}));
+  EXPECT_GT(r.token_count, 0u);
+}
+
+TEST_F(ClientTest, InclusiveInterval) {
+  auto r = client_->between_inclusive(10, 40);  // 10 <= v <= 40
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.ids, (std::vector<RecordId>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(ClientTest, InclusiveIntervalSinglePoint) {
+  auto r = client_->between_inclusive(30, 30);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.ids, (std::vector<RecordId>{3, 5}));
+}
+
+TEST_F(ClientTest, InclusiveAdjacentEndpoints) {
+  // [29, 30]: exclusive core (29,30) is empty; endpoints still found.
+  auto r = client_->between_inclusive(29, 30);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.ids, (std::vector<RecordId>{3, 5}));
+}
+
+TEST_F(ClientTest, FullDomainInterval) {
+  auto r = client_->between_inclusive(0, 255);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.ids, (std::vector<RecordId>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST_F(ClientTest, EmptyIntervalThrows) {
+  EXPECT_THROW(client_->between(40, 40), CryptoError);
+  EXPECT_THROW(client_->between(40, 41), CryptoError);  // exclusive => empty
+  EXPECT_THROW(client_->between(41, 40), CryptoError);
+  EXPECT_THROW(client_->between_inclusive(41, 40), CryptoError);
+}
+
+TEST_F(ClientTest, DeduplicatesAcrossSlices) {
+  // A record matching an order condition matches exactly one slice, but the
+  // client guarantees dedup regardless.
+  auto r = client_->greater(0);
+  EXPECT_EQ(r.ids, (std::vector<RecordId>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(ClientMultiAttr, PerAttributeQueries) {
+  Rig rig = Rig::make(8, "client-multi");
+  const std::vector<MultiRecord> db = {
+      {1, {{"age", 30}, {"score", 90}}},
+      {2, {{"age", 60}, {"score", 40}}},
+  };
+  rig.cloud->apply(rig.owner->build(db));
+  rig.user->refresh(rig.owner->export_user_state());
+  QueryClient client(*rig.user, *rig.cloud, rig.config.prime_bits);
+
+  EXPECT_EQ(client.greater("age", 40).ids, (std::vector<RecordId>{2}));
+  EXPECT_EQ(client.greater("score", 50).ids, (std::vector<RecordId>{1}));
+  EXPECT_EQ(client.between("age", 20, 70).ids, (std::vector<RecordId>{1, 2}));
+}
+
+}  // namespace
+}  // namespace slicer::core

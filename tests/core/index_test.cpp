@@ -1,0 +1,43 @@
+#include "core/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace slicer::core {
+namespace {
+
+TEST(EncryptedIndex, PutGet) {
+  EncryptedIndex idx;
+  idx.put(Bytes{1, 2}, Bytes{3, 4});
+  EXPECT_TRUE(idx.contains(Bytes{1, 2}));
+  EXPECT_EQ(idx.get(Bytes{1, 2}), (Bytes{3, 4}));
+  EXPECT_FALSE(idx.contains(Bytes{1, 3}));
+  EXPECT_EQ(idx.get(Bytes{1, 3}), std::nullopt);
+}
+
+TEST(EncryptedIndex, DuplicateAddressThrows) {
+  EncryptedIndex idx;
+  idx.put(Bytes{1}, Bytes{2});
+  EXPECT_THROW(idx.put(Bytes{1}, Bytes{3}), ProtocolError);
+}
+
+TEST(EncryptedIndex, SizeAndByteSize) {
+  EncryptedIndex idx;
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.byte_size(), 0u);
+  idx.put(Bytes(16, 1), Bytes(16, 2));
+  idx.put(Bytes(16, 3), Bytes(16, 4));
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.byte_size(), 64u);
+}
+
+TEST(EncryptedIndex, EmptyKeyAndValueAllowed) {
+  EncryptedIndex idx;
+  idx.put(Bytes{}, Bytes{});
+  EXPECT_TRUE(idx.contains(Bytes{}));
+  EXPECT_EQ(idx.get(Bytes{}), Bytes{});
+}
+
+}  // namespace
+}  // namespace slicer::core

@@ -1,0 +1,149 @@
+// Structural leakage properties (§VI-B): checks that the observable
+// artifacts (index addresses, token sets, ciphertext lanes) carry none of
+// the *structure* the leakage functions promise to hide. These are
+// structural/statistical checks, not reductions — the reductions are in the
+// paper; these tests pin the implementation to the assumptions they need.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/core/test_rig.hpp"
+
+namespace slicer::core {
+namespace {
+
+using testing::Rig;
+
+TEST(Leakage, IndexAddressesAreDistinctAndFixedWidth) {
+  Rig rig = Rig::make(8, "leak1");
+  const auto records = std::vector<Record>{{1, 5}, {2, 5}, {3, 6}, {4, 200}};
+  const UpdateOutput out = rig.owner->insert(records);
+  std::set<Bytes> addresses;
+  for (const auto& [l, d] : out.entries) {
+    EXPECT_EQ(l.size(), 16u);
+    EXPECT_EQ(d.size(), 16u);
+    addresses.insert(l);
+  }
+  EXPECT_EQ(addresses.size(), out.entries.size());  // no collisions
+}
+
+TEST(Leakage, EqualValuesShareNoVisibleIndexStructure) {
+  // Two records with identical values produce entries at unrelated
+  // addresses with unrelated payloads (the pad is per-counter).
+  Rig rig = Rig::make(8, "leak2");
+  const UpdateOutput out =
+      rig.owner->insert(std::vector<Record>{{1, 77}, {2, 77}});
+  for (std::size_t i = 0; i < out.entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.entries.size(); ++j) {
+      EXPECT_NE(out.entries[i].first, out.entries[j].first);
+      EXPECT_NE(out.entries[i].second, out.entries[j].second);
+    }
+  }
+}
+
+TEST(Leakage, HistoryIndependenceOfIndexAddresses) {
+  // Same logical database ingested in different record orders occupies the
+  // same set of index addresses (the structure betrays nothing about
+  // insertion order), and queries return identical logical answers. The
+  // payload bytes may pair differently — they are PRF-padded and opaque.
+  Rig a = Rig::make(8, "leak-order");
+  Rig b = Rig::make(8, "leak-order");  // same seed → same keys
+  const std::vector<Record> fwd = {{1, 9}, {2, 13}, {3, 9}};
+  const std::vector<Record> rev = {{3, 9}, {2, 13}, {1, 9}};
+  a.ingest(fwd);
+  b.ingest(rev);
+
+  auto addresses = [](const CloudServer& cloud) {
+    std::set<Bytes> out;
+    for (const auto& [l, d] : cloud.index().sorted_entries()) out.insert(l);
+    return out;
+  };
+  EXPECT_EQ(addresses(*a.cloud), addresses(*b.cloud));
+
+  for (const MatchCondition mc :
+       {MatchCondition::kEqual, MatchCondition::kGreater,
+        MatchCondition::kLess}) {
+    EXPECT_EQ(a.query(9, mc).ids, b.query(9, mc).ids);
+  }
+}
+
+TEST(Leakage, OrderTokensAreShuffled) {
+  // The slice index must not be recoverable from token position: repeated
+  // token generations for the same query differ in order but not as sets.
+  Rig rig = Rig::make(8, "leak3");
+  std::vector<Record> records;
+  for (RecordId id = 0; id < 128; ++id)
+    records.push_back({id + 1, id * 2});  // covers the even values densely
+  rig.ingest(records);
+
+  const auto t1 = rig.user->make_tokens(2, MatchCondition::kGreater);
+  ASSERT_GE(t1.size(), 5u);
+  auto keys = [](const std::vector<SearchToken>& ts) {
+    std::multiset<Bytes> out;
+    for (const auto& t : ts) out.insert(t.g1);
+    return out;
+  };
+  auto order = [](const std::vector<SearchToken>& ts) {
+    std::vector<Bytes> out;
+    for (const auto& t : ts) out.push_back(t.g1);
+    return out;
+  };
+  // Same set every time; a different order within a few redraws (each
+  // redraw coincides with t1's order with probability ≤ 1/5!).
+  bool reordered = false;
+  for (int attempt = 0; attempt < 5 && !reordered; ++attempt) {
+    const auto t2 = rig.user->make_tokens(2, MatchCondition::kGreater);
+    ASSERT_EQ(keys(t1), keys(t2));
+    reordered = order(t1) != order(t2);
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Leakage, TokensForDistinctQueriesShareOnlyMatchingSlices) {
+  // Tokens are per-slice PRF keys: two different order queries may share
+  // slices (expected) but an equality token never collides with them.
+  Rig rig = Rig::make(8, "leak4");
+  rig.ingest({{1, 100}, {2, 200}});
+  const auto eq = rig.user->make_tokens(100, MatchCondition::kEqual);
+  const auto gt = rig.user->make_tokens(50, MatchCondition::kGreater);
+  ASSERT_EQ(eq.size(), 1u);
+  for (const auto& t : gt) {
+    EXPECT_NE(t.g1, eq[0].g1);
+    EXPECT_NE(t.g2, eq[0].g2);
+  }
+}
+
+TEST(Leakage, ForwardSecurityNewGenerationAddressesUnlinkable) {
+  // After an insertion touching a previously-searched keyword, the new
+  // index entries live at addresses that are NOT computable from the old
+  // token (the cloud's view): the old token enumerates only old entries.
+  Rig rig = Rig::make(8, "leak5");
+  rig.ingest({{1, 42}});
+  const auto old_token = rig.user->make_tokens(42, MatchCondition::kEqual)[0];
+
+  const UpdateOutput update =
+      rig.owner->insert(std::vector<Record>{{2, 42}});
+  // Collect the addresses reachable from the old token.
+  std::set<Bytes> reachable;
+  {
+    // Re-derive them the way the cloud would.
+    for (std::uint64_t c = 0; c < 8; ++c)
+      reachable.insert(index_address(old_token.g1, old_token.trapdoor, c));
+  }
+  for (const auto& [l, d] : update.entries) {
+    EXPECT_FALSE(reachable.contains(l));
+  }
+}
+
+TEST(Leakage, ResultPayloadsAreDistinctAcrossCounters) {
+  // d-values for the same record id under different slices never repeat
+  // (each is masked by an independent PRF pad).
+  Rig rig = Rig::make(8, "leak6");
+  const auto out = rig.owner->insert(std::vector<Record>{{1, 3}});
+  std::set<Bytes> payloads;
+  for (const auto& [l, d] : out.entries) payloads.insert(d);
+  EXPECT_EQ(payloads.size(), out.entries.size());
+}
+
+}  // namespace
+}  // namespace slicer::core

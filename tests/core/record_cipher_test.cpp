@@ -1,0 +1,50 @@
+#include "core/record_cipher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace slicer::core {
+namespace {
+
+TEST(RecordCipher, RoundTrip) {
+  const RecordCipher cipher(Bytes(16, 0x42));
+  for (RecordId id : {RecordId{0}, RecordId{1}, RecordId{123456789},
+                      ~RecordId{0}}) {
+    const Bytes ct = cipher.encrypt(id);
+    EXPECT_EQ(ct.size(), RecordCipher::kCiphertextSize);
+    EXPECT_EQ(cipher.decrypt(ct), id);
+  }
+}
+
+TEST(RecordCipher, Deterministic) {
+  const RecordCipher cipher(Bytes(16, 0x42));
+  EXPECT_EQ(cipher.encrypt(7), cipher.encrypt(7));
+}
+
+TEST(RecordCipher, DistinctIdsDistinctCiphertexts) {
+  const RecordCipher cipher(Bytes(16, 0x42));
+  EXPECT_NE(cipher.encrypt(7), cipher.encrypt(8));
+}
+
+TEST(RecordCipher, WrongKeyFailsIntegrity) {
+  const RecordCipher a(Bytes(16, 0x01));
+  const RecordCipher b(Bytes(16, 0x02));
+  EXPECT_THROW(b.decrypt(a.encrypt(7)), CryptoError);
+}
+
+TEST(RecordCipher, TamperedCiphertextFailsIntegrity) {
+  const RecordCipher cipher(Bytes(16, 0x42));
+  Bytes ct = cipher.encrypt(7);
+  ct[0] ^= 0x01;
+  EXPECT_THROW(cipher.decrypt(ct), CryptoError);
+}
+
+TEST(RecordCipher, RejectsBadSizes) {
+  EXPECT_THROW(RecordCipher(Bytes(15, 0)), CryptoError);
+  const RecordCipher cipher(Bytes(16, 0));
+  EXPECT_THROW(cipher.decrypt(Bytes(15, 0)), CryptoError);
+}
+
+}  // namespace
+}  // namespace slicer::core

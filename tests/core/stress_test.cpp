@@ -1,0 +1,115 @@
+// Deeper protocol stress: wide values, many trapdoor generations, larger
+// mixed workloads.
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "tests/core/test_rig.hpp"
+
+namespace slicer::core {
+namespace {
+
+using testing::plain_query;
+using testing::Rig;
+
+TEST(Stress, WideValues32Bit) {
+  Rig rig = Rig::make(32, "stress32");
+  const std::vector<Record> records = {
+      {1, 0},          {2, 1},           {3, 0x7fffffff},
+      {4, 0x80000000}, {5, 0xffffffff},  {6, 1'000'000'000},
+  };
+  rig.ingest(records);
+  for (const std::uint64_t q :
+       {0ull, 1ull, 0x7fffffffull, 0x80000000ull, 0xffffffffull, 2ull}) {
+    for (const MatchCondition mc :
+         {MatchCondition::kEqual, MatchCondition::kGreater,
+          MatchCondition::kLess}) {
+      const auto outcome = rig.query(q, mc);
+      EXPECT_TRUE(outcome.verified) << q;
+      EXPECT_EQ(outcome.ids, plain_query(records, q, mc)) << q;
+    }
+  }
+}
+
+TEST(Stress, ManyGenerationsDeepTrapdoorChain) {
+  // 12 single-record insertions of the same value → 12 generations. The
+  // cloud must walk the whole chain with the public permutation and the
+  // cumulative multiset hash must still verify.
+  Rig rig = Rig::make(8, "deep");
+  std::vector<Record> all;
+  for (RecordId id = 1; id <= 12; ++id) {
+    rig.ingest({{id, 99}});
+    all.push_back({id, 99});
+  }
+  const auto tokens = rig.user->make_tokens(99, MatchCondition::kEqual);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].j, 11u);
+  const auto outcome = rig.query(99, MatchCondition::kEqual);
+  EXPECT_TRUE(outcome.verified);
+  EXPECT_EQ(outcome.ids, plain_query(all, 99, MatchCondition::kEqual));
+}
+
+TEST(Stress, MixedWorkloadInterleavedInsertAndSearch) {
+  Rig rig = Rig::make(12, "mixed");
+  std::vector<Record> all;
+  crypto::Drbg rng(str_bytes("mixed-workload"));
+  RecordId next_id = 1;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<Record> batch;
+    const std::size_t n = 5 + rng.uniform(20);
+    for (std::size_t i = 0; i < n; ++i)
+      batch.push_back({next_id++, rng.uniform(1u << 12)});
+    rig.ingest(batch);
+    all.insert(all.end(), batch.begin(), batch.end());
+
+    const std::uint64_t q = rng.uniform(1u << 12);
+    for (const MatchCondition mc :
+         {MatchCondition::kEqual, MatchCondition::kGreater,
+          MatchCondition::kLess}) {
+      const auto outcome = rig.query(q, mc);
+      ASSERT_TRUE(outcome.verified) << "round " << round;
+      ASSERT_EQ(outcome.ids, plain_query(all, q, mc)) << "round " << round;
+    }
+  }
+}
+
+TEST(Stress, HeavyDuplicateValues) {
+  // 200 records over just 4 distinct values: long posting lists per keyword.
+  Rig rig = Rig::make(8, "dups");
+  std::vector<Record> records;
+  for (RecordId id = 1; id <= 200; ++id)
+    records.push_back({id, (id % 4) * 50});
+  rig.ingest(records);
+  for (const std::uint64_t q : {0ull, 50ull, 100ull, 150ull, 75ull}) {
+    for (const MatchCondition mc :
+         {MatchCondition::kEqual, MatchCondition::kGreater,
+          MatchCondition::kLess}) {
+      const auto outcome = rig.query(q, mc);
+      ASSERT_TRUE(outcome.verified);
+      ASSERT_EQ(outcome.ids, plain_query(records, q, mc));
+    }
+  }
+}
+
+TEST(Stress, SingleBitDomain) {
+  // b = 1: the degenerate but legal case — only values 0 and 1.
+  Rig rig = Rig::make(1, "tiny");
+  rig.ingest({{1, 0}, {2, 1}, {3, 1}});
+  EXPECT_EQ(rig.query(0, MatchCondition::kGreater).ids,
+            (std::vector<RecordId>{2, 3}));
+  EXPECT_EQ(rig.query(1, MatchCondition::kLess).ids,
+            (std::vector<RecordId>{1}));
+  EXPECT_EQ(rig.query(1, MatchCondition::kEqual).ids,
+            (std::vector<RecordId>{2, 3}));
+  EXPECT_TRUE(rig.query(1, MatchCondition::kGreater).ids.empty());
+}
+
+TEST(Stress, ValueOutOfRangeRejected) {
+  Rig rig = Rig::make(8, "range");
+  EXPECT_THROW(rig.owner->insert(std::vector<Record>{{1, 256}}), CryptoError);
+  rig.ingest({{1, 255}});
+  EXPECT_THROW(rig.user->make_tokens(256, MatchCondition::kEqual),
+               CryptoError);
+}
+
+}  // namespace
+}  // namespace slicer::core

@@ -1,0 +1,100 @@
+// FIPS 197 / SP 800-38A known-answer tests for AES-128.
+#include "crypto/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+
+namespace slicer::crypto {
+namespace {
+
+TEST(Aes128, Fips197AppendixB) {
+  const Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Bytes plain = from_hex("3243f6a8885a308d313198a2e0370734");
+  EXPECT_EQ(to_hex(aes.encrypt_one(plain)), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, Fips197AppendixC1) {
+  const Aes128 aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Bytes plain = from_hex("00112233445566778899aabbccddeeff");
+  const Bytes cipher = aes.encrypt_one(plain);
+  EXPECT_EQ(to_hex(cipher), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(aes.decrypt_one(cipher), plain);
+}
+
+TEST(Aes128, Sp80038aEcbVectors) {
+  const Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const struct {
+    const char* plain;
+    const char* cipher;
+  } vectors[] = {
+      {"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+      {"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+      {"30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"},
+      {"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"},
+  };
+  for (const auto& v : vectors) {
+    EXPECT_EQ(to_hex(aes.encrypt_one(from_hex(v.plain))), v.cipher);
+    EXPECT_EQ(to_hex(aes.decrypt_one(from_hex(v.cipher))), v.plain);
+  }
+}
+
+TEST(Aes128, Sp80038aCtrVectors) {
+  const Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Bytes nonce = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes plain = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const Bytes expect = from_hex(
+      "874d6191b620e3261bef6864990db6ce"
+      "9806f66b7970fdff8617187bb9fffdff"
+      "5ae4df3edbd5d35e5b4f09020db03eab"
+      "1e031dda2fbe03d1792170a0f3009cee");
+  const Bytes cipher = aes.ctr_crypt(nonce, plain);
+  EXPECT_EQ(cipher, expect);
+  EXPECT_EQ(aes.ctr_crypt(nonce, cipher), plain);
+}
+
+TEST(Aes128, CtrPartialBlock) {
+  const Aes128 aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Bytes nonce(16, 0x00);
+  const Bytes plain = str_bytes("short");
+  const Bytes cipher = aes.ctr_crypt(nonce, plain);
+  EXPECT_EQ(cipher.size(), plain.size());
+  EXPECT_EQ(aes.ctr_crypt(nonce, cipher), plain);
+}
+
+TEST(Aes128, CtrCounterWraparound) {
+  const Aes128 aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Bytes nonce(16, 0xff);  // increments wrap to all-zero block
+  const Bytes plain(48, 0xab);
+  const Bytes cipher = aes.ctr_crypt(nonce, plain);
+  EXPECT_EQ(aes.ctr_crypt(nonce, cipher), plain);
+}
+
+TEST(Aes128, RejectsBadKeySize) {
+  EXPECT_THROW(Aes128(Bytes(15, 0)), CryptoError);
+  EXPECT_THROW(Aes128(Bytes(17, 0)), CryptoError);
+}
+
+TEST(Aes128, RejectsBadBlockSize) {
+  const Aes128 aes(Bytes(16, 0));
+  EXPECT_THROW(aes.encrypt_one(Bytes(15, 0)), CryptoError);
+  EXPECT_THROW(aes.decrypt_one(Bytes(17, 0)), CryptoError);
+  EXPECT_THROW(aes.ctr_crypt(Bytes(8, 0), Bytes(16, 0)), CryptoError);
+}
+
+TEST(Aes128, EncryptDecryptRoundTripRandomBlocks) {
+  const Aes128 aes(from_hex("5468617473206d79204b756e67204675"));
+  Bytes block(16);
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 16; ++j)
+      block[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(i * 17 + j * 31);
+    EXPECT_EQ(aes.decrypt_one(aes.encrypt_one(block)), block);
+  }
+}
+
+}  // namespace
+}  // namespace slicer::crypto

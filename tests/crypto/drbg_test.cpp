@@ -1,0 +1,88 @@
+#include "crypto/drbg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/errors.hpp"
+
+namespace slicer::crypto {
+namespace {
+
+TEST(Drbg, DeterministicForSameSeed) {
+  Drbg a(str_bytes("seed"));
+  Drbg b(str_bytes("seed"));
+  EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(Drbg, DifferentSeedsDiverge) {
+  Drbg a(str_bytes("seed-1"));
+  Drbg b(str_bytes("seed-2"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, SequentialCallsDiffer) {
+  Drbg d(str_bytes("seed"));
+  EXPECT_NE(d.generate(32), d.generate(32));
+}
+
+TEST(Drbg, GenerateSizes) {
+  Drbg d(str_bytes("seed"));
+  for (std::size_t n : {0u, 1u, 31u, 32u, 33u, 100u}) {
+    EXPECT_EQ(d.generate(n).size(), n);
+  }
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  Drbg a(str_bytes("seed"));
+  Drbg b(str_bytes("seed"));
+  b.reseed(str_bytes("extra"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, UniformStaysInRange) {
+  Drbg d(str_bytes("seed"));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(d.uniform(7), 7u);
+  }
+}
+
+TEST(Drbg, UniformRejectsZeroBound) {
+  Drbg d(str_bytes("seed"));
+  EXPECT_THROW(d.uniform(0), CryptoError);
+}
+
+TEST(Drbg, UniformOneIsAlwaysZero) {
+  Drbg d(str_bytes("seed"));
+  EXPECT_EQ(d.uniform(1), 0u);
+}
+
+TEST(Drbg, UniformCoversAllResidues) {
+  Drbg d(str_bytes("seed"));
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(d.uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Drbg, ShuffleIsPermutation) {
+  Drbg d(str_bytes("seed"));
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  d.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Drbg, OsEntropyProducesDistinctStreams) {
+  Drbg a = Drbg::from_os_entropy();
+  Drbg b = Drbg::from_os_entropy();
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+}  // namespace
+}  // namespace slicer::crypto

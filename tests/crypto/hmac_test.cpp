@@ -1,0 +1,68 @@
+// RFC 4231 known-answer tests for HMAC-SHA256.
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slicer::crypto {
+namespace {
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes msg = str_bytes("Hi There");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Bytes key = str_bytes("Jefe");
+  const Bytes msg = str_bytes("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const Bytes msg = str_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, Rfc4231Case7LongKeyAndData) {
+  const Bytes key(131, 0xaa);
+  const Bytes msg = str_bytes(
+      "This is a test using a larger than block-size key and a larger than "
+      "block-size data. The key needs to be hashed before being used by the "
+      "HMAC algorithm.");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(Hmac, TruncatedVariantIsPrefix) {
+  const Bytes key = str_bytes("k");
+  const Bytes msg = str_bytes("m");
+  const Bytes full = hmac_sha256(key, msg);
+  const Bytes trunc = hmac_sha256_128(key, msg);
+  ASSERT_EQ(trunc.size(), 16u);
+  EXPECT_TRUE(std::equal(trunc.begin(), trunc.end(), full.begin()));
+}
+
+TEST(Hmac, KeySensitivity) {
+  const Bytes msg = str_bytes("same message");
+  EXPECT_NE(hmac_sha256(str_bytes("key1"), msg),
+            hmac_sha256(str_bytes("key2"), msg));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  const Bytes key = str_bytes("key");
+  EXPECT_NE(hmac_sha256(key, str_bytes("a")), hmac_sha256(key, str_bytes("b")));
+}
+
+}  // namespace
+}  // namespace slicer::crypto

@@ -1,0 +1,88 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/errors.hpp"
+
+namespace slicer::workload {
+namespace {
+
+crypto::Drbg test_rng() { return crypto::Drbg(str_bytes("workload")); }
+
+class AllDistributions : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(AllDistributions, ValuesInDomainAndDeterministic) {
+  const Distribution dist = GetParam();
+  for (const std::size_t bits : {8u, 16u, 24u}) {
+    auto rng1 = test_rng();
+    auto rng2 = test_rng();
+    const auto a = generate(rng1, dist, bits, 500);
+    const auto b = generate(rng2, dist, bits, 500);
+    ASSERT_EQ(a.size(), 500u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_LT(a[i].value, 1ull << bits);
+      EXPECT_EQ(a[i].value, b[i].value);  // deterministic
+      EXPECT_EQ(a[i].id, i + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dists, AllDistributions,
+                         ::testing::Values(Distribution::kUniform,
+                                           Distribution::kZipf,
+                                           Distribution::kGaussian,
+                                           Distribution::kClustered),
+                         [](const auto& info) {
+                           return distribution_name(info.param);
+                         });
+
+TEST(Workload, ZipfIsHeavyHeaded) {
+  auto rng = test_rng();
+  const auto records = generate(rng, Distribution::kZipf, 16, 4000);
+  std::map<std::uint64_t, std::size_t> freq;
+  for (const auto& r : records) ++freq[r.value];
+  std::size_t max_freq = 0;
+  for (const auto& [v, f] : freq) max_freq = std::max(max_freq, f);
+  // Rank-1 mass of Zipf(1) over 1024 ranks ≈ 1/H(1024) ≈ 13%; uniform over
+  // 65536 values would make every frequency ~1.
+  EXPECT_GT(max_freq, records.size() / 20);
+  EXPECT_LT(distinct_values(records), records.size() / 3);
+}
+
+TEST(Workload, GaussianConcentratesAroundMidpoint) {
+  auto rng = test_rng();
+  const auto records = generate(rng, Distribution::kGaussian, 16, 4000);
+  const std::uint64_t mid = 1u << 15;
+  std::size_t inside = 0;
+  for (const auto& r : records) {
+    const std::uint64_t d = r.value > mid ? r.value - mid : mid - r.value;
+    if (d < (1u << 13)) ++inside;  // within ±σ
+  }
+  // ~68% within one σ; demand well over half.
+  EXPECT_GT(inside, records.size() / 2);
+}
+
+TEST(Workload, ClusteredHasFewDistinctRegions) {
+  auto rng = test_rng();
+  const auto records = generate(rng, Distribution::kClustered, 16, 4000);
+  // 8 clusters of width domain/128 ⇒ distinct values bounded well below
+  // the record count.
+  EXPECT_LT(distinct_values(records), 8u * 1024u);
+}
+
+TEST(Workload, UniformHasManyDistinctValues) {
+  auto rng = test_rng();
+  const auto records = generate(rng, Distribution::kUniform, 16, 4000);
+  EXPECT_GT(distinct_values(records), 3000u);
+}
+
+TEST(Workload, RejectsBadWidths) {
+  auto rng = test_rng();
+  EXPECT_THROW(sample_value(rng, Distribution::kUniform, 0), CryptoError);
+  EXPECT_THROW(sample_value(rng, Distribution::kUniform, 64), CryptoError);
+}
+
+}  // namespace
+}  // namespace slicer::workload
