@@ -10,6 +10,7 @@
 #include "adscrypto/hash_to_prime.hpp"
 #include "baseline/merkle_tree.hpp"
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 
 namespace slicer::bench {
 namespace {
@@ -100,8 +101,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   slicer::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return slicer::bench::run_bench_main("ablation_ads", argc, argv);
 }

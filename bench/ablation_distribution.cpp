@@ -17,6 +17,7 @@ int main() {
   const std::size_t bits = 16;
   const std::size_t count = static_cast<std::size_t>(4000.0 * scale());
 
+  BenchJson json("ablation_distribution");
   std::printf("Ablation D — distribution sensitivity (%zu records, %zu-bit)\n",
               count, bits);
   std::printf("%-10s %10s %10s %12s %12s %12s\n", "dist", "distinct",
@@ -37,6 +38,17 @@ int main() {
                 world->owner->keyword_count(), stats.index_seconds,
                 stats.ads_seconds,
                 static_cast<double>(world->owner->ads_byte_size()) / 1048576.0);
+    json.add({std::string("AblationD/") + workload::distribution_name(dist),
+              (stats.index_seconds + stats.ads_seconds) * 1e3,
+              1,
+              {{"records", static_cast<double>(count)},
+               {"bits", static_cast<double>(bits)},
+               {"distinct",
+                static_cast<double>(workload::distinct_values(records))},
+               {"keywords", static_cast<double>(world->owner->keyword_count())},
+               {"index_s", stats.index_seconds},
+               {"ads_s", stats.ads_seconds}}});
   }
+  json.write();
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "baseline/linear_scan.hpp"
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 
 namespace slicer::bench {
 namespace {
@@ -98,8 +99,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   slicer::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return slicer::bench::run_bench_main("ablation_sore", argc, argv);
 }

@@ -6,6 +6,7 @@
 
 #include "adscrypto/hash_to_prime.hpp"
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 
 namespace slicer::bench {
 namespace {
@@ -32,6 +33,7 @@ void BM_NaivePerQueryWitness(benchmark::State& state) {
   }
   // One witness per iteration → items/s is witnesses per second.
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["threads"] = static_cast<double>(threads());
 }
 
 void BM_ProductTreeAllWitnesses(benchmark::State& state) {
@@ -45,6 +47,19 @@ void BM_ProductTreeAllWitnesses(benchmark::State& state) {
   // n witnesses per iteration → items/s is (amortized) witnesses per second.
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * n));
+  state.counters["threads"] = static_cast<double>(threads());
+}
+
+/// Serial-vs-parallel speedup of the product-tree all-witnesses pass at the
+/// default bench scale (the acceptance metric for the parallel layer).
+void speedup_extra(BenchJson& json) {
+  const RsaAccumulator acc(bench_accumulator().first);
+  const auto n = static_cast<std::size_t>(1024 * scale());
+  const auto primes = primes_for(n);
+  report_speedup(json, "AllWitnesses/" + std::to_string(n), [&] {
+    auto all = acc.all_witnesses(primes);
+    benchmark::DoNotOptimize(all);
+  });
 }
 
 void register_all() {
@@ -63,8 +78,6 @@ void register_all() {
 
 int main(int argc, char** argv) {
   slicer::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return slicer::bench::run_bench_main("ablation_witness", argc, argv,
+                                       slicer::bench::speedup_extra);
 }

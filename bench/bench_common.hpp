@@ -8,19 +8,28 @@
 // what EXPERIMENTS.md compares.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "adscrypto/params.hpp"
+#include "common/thread_pool.hpp"
 #include "core/cloud.hpp"
 #include "core/owner.hpp"
 #include "core/user.hpp"
 #include "core/verify.hpp"
 
 namespace slicer::bench {
+
+/// Parallelism of the process pool (the SLICER_THREADS knob).
+inline std::size_t threads() { return ThreadPool::instance().thread_count(); }
 
 /// Record-count scale multiplier from SLICER_BENCH_SCALE (default 1.0).
 inline double scale() {
@@ -115,6 +124,82 @@ inline World& cached_world(std::size_t bits, std::size_t count) {
   auto& slot = cache[{bits, count}];
   if (!slot) slot = make_world(bits, count);
   return *slot;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every benchmark binary writes BENCH_<name>.json
+// (sizes, bits, threads, wall-times) next to its stdout table.
+
+/// One measured row of a benchmark run.
+struct BenchRow {
+  std::string name;
+  double real_ms = 0;          // wall time per iteration
+  std::int64_t iterations = 0;
+  std::map<std::string, double> counters;  // sizes, bits, phase splits, ...
+};
+
+/// Accumulates rows and serializes them as BENCH_<name>.json.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void add(BenchRow row) { rows_.push_back(std::move(row)); }
+
+  /// Writes BENCH_<name>.json into the working directory.
+  void write() const {
+    std::ofstream out("BENCH_" + name_ + ".json");
+    out << "{\n  \"bench\": \"" << escape(name_) << "\",\n"
+        << "  \"threads\": " << threads() << ",\n"
+        << "  \"scale\": " << scale() << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const BenchRow& r = rows_[i];
+      out << (i ? ",\n    {" : "\n    {") << "\"name\": \"" << escape(r.name)
+          << "\", \"real_ms\": " << r.real_ms
+          << ", \"iterations\": " << r.iterations;
+      for (const auto& [key, value] : r.counters)
+        out << ", \"" << escape(key) << "\": " << value;
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<BenchRow> rows_;
+};
+
+/// Times `fn` once under the current pool and once under a ScopedSerial
+/// guard, prints the ratio, and appends <label>/{serial,parallel,speedup}
+/// rows. With SLICER_THREADS=1 both timings run the identical inline path.
+inline void report_speedup(BenchJson& json, const std::string& label,
+                           const std::function<void()>& fn) {
+  const auto time_once = [&fn] {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  double serial_ms = 0;
+  {
+    ThreadPool::ScopedSerial guard;
+    serial_ms = time_once();
+  }
+  const double parallel_ms = time_once();
+  const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0;
+  std::printf("%-40s serial %.2f ms  parallel %.2f ms  (%zu threads, %.2fx)\n",
+              label.c_str(), serial_ms, parallel_ms, threads(), speedup);
+  json.add({label + "/serial", serial_ms, 1, {}});
+  json.add({label + "/parallel", parallel_ms, 1, {{"speedup", speedup}}});
 }
 
 /// Random query values drawn like the paper's "select random numbers".

@@ -1,0 +1,54 @@
+// google-benchmark glue for the BENCH_<name>.json emitters: a console
+// reporter that tees every run into a BenchJson, and the shared main body
+// used by the figure/ablation binaries. Split from bench_common.hpp so
+// examples can use the world helpers without linking google-benchmark.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+namespace slicer::bench {
+
+/// Console reporter that also records every run into a BenchJson.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(BenchJson& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      BenchRow row;
+      row.name = run.benchmark_name();
+      row.iterations = static_cast<std::int64_t>(run.iterations);
+      row.real_ms = run.iterations == 0
+                        ? 0
+                        : run.real_accumulated_time /
+                              static_cast<double>(run.iterations) * 1e3;
+      for (const auto& [key, counter] : run.counters)
+        row.counters[key] = counter.value;
+      json_.add(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchJson& json_;
+};
+
+/// Shared main body: runs the registered benchmarks with the tee reporter
+/// and writes BENCH_<name>.json. `extra` (optional) runs after the google-
+/// benchmark pass and may append rows — e.g. serial-vs-parallel speedups.
+inline int run_bench_main(const std::string& name, int argc, char** argv,
+                          const std::function<void(BenchJson&)>& extra = {}) {
+  benchmark::Initialize(&argc, argv);
+  BenchJson json(name);
+  JsonTeeReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (extra) extra(json);
+  json.write();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace slicer::bench

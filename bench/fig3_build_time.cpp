@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 
 namespace slicer::bench {
 namespace {
@@ -29,6 +30,7 @@ void BM_BuildIndex(benchmark::State& state) {
         static_cast<double>(world->owner->keyword_count());
   }
   state.counters["records"] = static_cast<double>(count);
+  state.counters["threads"] = static_cast<double>(threads());
 }
 
 void register_all() {
@@ -51,8 +53,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   slicer::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return slicer::bench::run_bench_main("fig3_build_time", argc, argv);
 }

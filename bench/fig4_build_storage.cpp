@@ -13,13 +13,18 @@
 int main() {
   using namespace slicer::bench;
 
+  BenchJson json("fig4_build_storage");
   std::printf("Fig 4 — storage cost of Build (MB)\n");
   std::printf("%8s %6s %14s %14s %10s\n", "records", "bits", "index_MB",
               "ads_MB", "keywords");
   for (const std::size_t bits : {8, 16, 24}) {
     for (const std::size_t count : record_counts()) {
       auto world = make_world(bits, count, /*ingest=*/false);
+      const auto start = std::chrono::steady_clock::now();
       const auto update = world->owner->insert(world->records);
+      const double build_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
       const double index_mb =
           static_cast<double>(update.entries_byte_size()) / (1024.0 * 1024.0);
       const double ads_mb =
@@ -27,7 +32,18 @@ int main() {
           (1024.0 * 1024.0);
       std::printf("%8zu %6zu %14.4f %14.4f %10zu\n", count, bits, index_mb,
                   ads_mb, world->owner->keyword_count());
+      json.add({"Fig4/Build/" + std::to_string(bits) + "bit/" +
+                    std::to_string(count),
+                build_ms,
+                1,
+                {{"records", static_cast<double>(count)},
+                 {"bits", static_cast<double>(bits)},
+                 {"index_MB", index_mb},
+                 {"ads_MB", ads_mb},
+                 {"keywords",
+                  static_cast<double>(world->owner->keyword_count())}}});
     }
   }
+  json.write();
   return 0;
 }

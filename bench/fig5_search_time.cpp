@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 
 namespace slicer::bench {
 namespace {
@@ -68,6 +69,7 @@ void run_search_bench(benchmark::State& state, MatchCondition mc,
     tokens_total += tokens.size();
   }
   state.counters["records"] = static_cast<double>(count);
+  state.counters["threads"] = static_cast<double>(threads());
   state.counters["avg_results"] =
       state.iterations() ? static_cast<double>(results_total) /
                                static_cast<double>(state.iterations())
@@ -89,6 +91,22 @@ void BM_OrderResultGen(benchmark::State& state) {
 }
 void BM_OrderVoGen(benchmark::State& state) {
   run_search_bench(state, MatchCondition::kGreater, true);
+}
+
+/// Serial-vs-parallel speedup of a full multi-token Search batch (the
+/// per-token fan-out in CloudServer::search).
+void speedup_extra(BenchJson& json) {
+  World& world = cached_world(16, record_counts()[2]);
+  std::vector<core::SearchToken> tokens;
+  for (const std::uint64_t q : query_values(16, 8, "fig5-speedup")) {
+    const auto t = world.user->make_tokens(q, MatchCondition::kGreater);
+    tokens.insert(tokens.end(), t.begin(), t.end());
+  }
+  report_speedup(json, "Search/" + std::to_string(tokens.size()) + "tokens",
+                 [&] {
+                   auto replies = world.cloud->search(tokens);
+                   benchmark::DoNotOptimize(replies);
+                 });
 }
 
 void register_all() {
@@ -124,8 +142,6 @@ void register_all() {
 
 int main(int argc, char** argv) {
   slicer::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return slicer::bench::run_bench_main("fig5_search_time", argc, argv,
+                                       slicer::bench::speedup_extra);
 }

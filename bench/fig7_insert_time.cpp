@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 
 namespace slicer::bench {
 namespace {
@@ -56,8 +57,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   slicer::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return slicer::bench::run_bench_main("fig7_insert_time", argc, argv);
 }

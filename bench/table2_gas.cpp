@@ -27,10 +27,16 @@ int main() {
   for (const Address& a : {owner_addr, user_addr, cloud_addr})
     chain.credit(a, 100'000'000);
 
-  auto print_row = [](const char* op, const Receipt& r) {
+  BenchJson json("table2_gas");
+  auto print_row = [&json](const char* op, const Receipt& r) {
     std::printf("%-22s %10llu gas   %s\n", op,
                 static_cast<unsigned long long>(r.gas_used),
                 r.success ? "" : ("REVERTED: " + r.revert_reason).c_str());
+    json.add({std::string("Table2/") + op,
+              0,
+              1,
+              {{"gas", static_cast<double>(r.gas_used)},
+               {"success", r.success ? 1.0 : 0.0}}});
   };
 
   std::printf("Table II — gas cost of the Slicer smart contract\n");
@@ -87,5 +93,6 @@ int main() {
   // Chain self-audit.
   std::printf("\nchain verification: %s\n",
               chain.verify_chain() ? "OK" : "FAILED");
+  json.write();
   return 0;
 }

@@ -1,12 +1,24 @@
 #include "adscrypto/accumulator.hpp"
 
+#include <algorithm>
+
 #include "bigint/primes.hpp"
 #include "common/errors.hpp"
 #include "common/serial.hpp"
+#include "common/thread_pool.hpp"
 
 namespace slicer::adscrypto {
 
 using bigint::BigUint;
+using bigint::Montgomery;
+
+namespace {
+
+/// Ranges at least this wide fork their recursion halves onto the pool;
+/// below it the per-task overhead outweighs the subtree's exponentiations.
+constexpr std::size_t kWitnessForkThreshold = 8;
+
+}  // namespace
 
 Bytes AccumulatorParams::serialize() const {
   Writer w;
@@ -92,27 +104,60 @@ BigUint RsaAccumulator::witness(std::span<const BigUint> primes,
 }
 
 void RsaAccumulator::all_witnesses_rec(std::span<const BigUint> primes,
-                                       const BigUint& base, std::size_t lo,
-                                       std::size_t hi,
-                                       std::vector<BigUint>& out) const {
+                                       const Montgomery::Elem& base,
+                                       std::size_t lo, std::size_t hi,
+                                       std::vector<BigUint>& out,
+                                       Montgomery::Scratch& scratch) const {
   if (hi - lo == 1) {
-    out[lo] = base;
+    out[lo] = mont_.from_mont(base, scratch);
     return;
   }
   const std::size_t mid = lo + (hi - lo) / 2;
   const BigUint prod_left = product_tree(primes.subspan(lo, mid - lo));
   const BigUint prod_right = product_tree(primes.subspan(mid, hi - mid));
+
   // Left half still owes the right half's primes in its exponent, and vice
-  // versa — the classic root-factor recursion.
-  all_witnesses_rec(primes, mont_.pow(base, prod_right), lo, mid, out);
-  all_witnesses_rec(primes, mont_.pow(base, prod_left), mid, hi, out);
+  // versa — the classic root-factor recursion. The base stays in Montgomery
+  // form across every level; only the leaves convert back.
+  ThreadPool& pool = ThreadPool::instance();
+  const bool fork = !pool.is_serial() && hi - lo >= kWitnessForkThreshold;
+
+  Montgomery::Elem left_base, right_base;
+  if (fork) {
+    // The two half-exponent pows sit on the critical path — fork them too.
+    pool.invoke2(
+        [&] {
+          Montgomery::Scratch s;
+          mont_.pow_mont(base, prod_right, left_base, s);
+        },
+        [&] {
+          Montgomery::Scratch s;
+          mont_.pow_mont(base, prod_left, right_base, s);
+        });
+    pool.invoke2(
+        [&] {
+          Montgomery::Scratch s;
+          all_witnesses_rec(primes, left_base, lo, mid, out, s);
+        },
+        [&] {
+          Montgomery::Scratch s;
+          all_witnesses_rec(primes, right_base, mid, hi, out, s);
+        });
+  } else {
+    mont_.pow_mont(base, prod_right, left_base, scratch);
+    mont_.pow_mont(base, prod_left, right_base, scratch);
+    all_witnesses_rec(primes, left_base, lo, mid, out, scratch);
+    all_witnesses_rec(primes, right_base, mid, hi, out, scratch);
+  }
 }
 
 std::vector<BigUint> RsaAccumulator::all_witnesses(
     std::span<const BigUint> primes) const {
   std::vector<BigUint> out(primes.size());
   if (primes.empty()) return out;
-  all_witnesses_rec(primes, params_.generator, 0, primes.size(), out);
+  Montgomery::Scratch scratch;
+  const Montgomery::Elem base = mont_.to_mont(params_.generator, scratch);
+  all_witnesses_rec(primes, base, 0, primes.size(), out, scratch);
   return out;
 }
 
@@ -162,9 +207,29 @@ bool RsaAccumulator::verify_nonmember(const AccumulatorParams& params,
 BigUint product_tree(std::span<const BigUint> values) {
   if (values.empty()) return BigUint(1);
   if (values.size() == 1) return values[0];
-  const std::size_t mid = values.size() / 2;
-  return product_tree(values.subspan(0, mid)) *
-         product_tree(values.subspan(mid));
+
+  // Bottom-up pairwise reduction: constant stack depth for any input size,
+  // and each level is an independent batch of multiplications the pool can
+  // split. An odd element rides along to the next level unchanged.
+  ThreadPool& pool = ThreadPool::instance();
+  std::vector<BigUint> level(values.begin(), values.end());
+  std::vector<BigUint> next;
+  while (level.size() > 1) {
+    const std::size_t pairs = level.size() / 2;
+    const bool odd = (level.size() & 1) != 0;
+    next.resize(pairs + (odd ? 1 : 0));
+    // Low levels have many cheap multiplications, high levels few huge
+    // ones; scaling the grain with the pair count serves both.
+    const std::size_t grain =
+        std::max<std::size_t>(1, pairs / (2 * pool.thread_count()));
+    pool.parallel_for(
+        pairs,
+        [&](std::size_t i) { next[i] = level[2 * i] * level[2 * i + 1]; },
+        grain);
+    if (odd) next[pairs] = std::move(level.back());
+    level.swap(next);
+  }
+  return level[0];
 }
 
 }  // namespace slicer::adscrypto

@@ -98,16 +98,24 @@ class RsaAccumulator {
                                const NonMembershipWitness& witness);
 
  private:
+  /// Root-factor recursion over [lo, hi). `base` is in Montgomery form and
+  /// already carries every prime outside the range in its exponent; halves
+  /// are forked onto the thread pool for large ranges. `scratch` belongs
+  /// to the calling thread; forked branches allocate their own.
   void all_witnesses_rec(std::span<const bigint::BigUint> primes,
-                         const bigint::BigUint& base, std::size_t lo,
-                         std::size_t hi,
-                         std::vector<bigint::BigUint>& out) const;
+                         const bigint::Montgomery::Elem& base, std::size_t lo,
+                         std::size_t hi, std::vector<bigint::BigUint>& out,
+                         bigint::Montgomery::Scratch& scratch) const;
 
   AccumulatorParams params_;
   bigint::Montgomery mont_;
 };
 
-/// Balanced product of a range of primes (Karatsuba-friendly shape).
+/// Balanced product of a range of primes, computed as a bottom-up pairwise
+/// reduction (Karatsuba-friendly shape, no deep recursion) with each level
+/// parallelized over the process thread pool. Any association of the exact
+/// integer product yields the same value, so the result is identical at
+/// every thread count.
 bigint::BigUint product_tree(std::span<const bigint::BigUint> values);
 
 }  // namespace slicer::adscrypto

@@ -18,9 +18,9 @@ u64 inv_u64(u64 a) {
   return x;
 }
 
-/// Compares two equal-length limb vectors (little-endian).
-bool geq(const std::vector<u64>& a, const std::vector<u64>& b) {
-  for (std::size_t i = a.size(); i-- > 0;) {
+/// Compares two equal-length limb ranges (little-endian).
+bool geq(const u64* a, const u64* b, std::size_t k) {
+  for (std::size_t i = k; i-- > 0;) {
     if (a[i] != b[i]) return a[i] > b[i];
   }
   return true;
@@ -47,12 +47,21 @@ Montgomery::Montgomery(const BigUint& modulus) : n_big_(modulus) {
   };
   one_ = pad(r_mod);
   rr_ = pad(rr_mod);
+  lit_one_ = pad(BigUint(1));
 }
 
-void Montgomery::mont_mul(const std::vector<u64>& a, const std::vector<u64>& b,
-                          std::vector<u64>& out) const {
+void Montgomery::prepare(Scratch& s) const {
+  // Exact sizes: a scratch shared across moduli of different widths keeps
+  // its capacity, so these resizes stop allocating once warm.
+  s.t.resize(k_ + 2);
+  s.tmp.resize(k_);
+  s.staging.resize(k_);
+}
+
+void Montgomery::mont_mul_raw(const u64* a, const u64* b, u64* out,
+                              u64* t) const {
   // CIOS: t has k_+2 limbs.
-  std::vector<u64> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_ + 2; ++i) t[i] = 0;
   for (std::size_t i = 0; i < k_; ++i) {
     // t += a * b[i]
     u64 carry = 0;
@@ -81,9 +90,7 @@ void Montgomery::mont_mul(const std::vector<u64>& a, const std::vector<u64>& b,
     t[k_ + 1] = 0;
   }
 
-  t.resize(k_ + 1);
-  if (t[k_] != 0 ||
-      geq(std::vector<u64>(t.begin(), t.begin() + static_cast<long>(k_)), n_)) {
+  if (t[k_] != 0 || geq(t, n_.data(), k_)) {
     // Subtract n once; with a,b < n the result then fits in k_ limbs.
     u64 borrow = 0;
     for (std::size_t i = 0; i < k_; ++i) {
@@ -94,65 +101,101 @@ void Montgomery::mont_mul(const std::vector<u64>& a, const std::vector<u64>& b,
     t[k_] -= borrow;
     assert(t[k_] == 0);
   }
-  out.assign(t.begin(), t.begin() + static_cast<long>(k_));
+  for (std::size_t i = 0; i < k_; ++i) out[i] = t[i];
 }
 
-std::vector<u64> Montgomery::to_mont(const BigUint& a) const {
-  BigUint reduced = a;
-  if (reduced >= n_big_) reduced = reduced % n_big_;
-  std::vector<u64> padded = reduced.limbs();
-  padded.resize(k_, 0);
-  std::vector<u64> out;
-  mont_mul(padded, rr_, out);
+Montgomery::Elem Montgomery::to_mont(const BigUint& a, Scratch& s) const {
+  prepare(s);
+  const BigUint* src = &a;
+  BigUint reduced;
+  if (a >= n_big_) {
+    reduced = a % n_big_;
+    src = &reduced;
+  }
+  const std::vector<u64>& limbs = src->limbs();
+  for (std::size_t i = 0; i < k_; ++i)
+    s.staging[i] = i < limbs.size() ? limbs[i] : 0;
+  Elem out(k_);
+  mont_mul_raw(s.staging.data(), rr_.data(), out.data(), s.t.data());
   return out;
 }
 
-BigUint Montgomery::from_mont(const std::vector<u64>& a) const {
-  std::vector<u64> one(k_, 0);
-  one[0] = 1;
-  std::vector<u64> out;
-  mont_mul(a, one, out);
-  return BigUint::from_limbs(out);
+BigUint Montgomery::from_mont(const Elem& a, Scratch& s) const {
+  prepare(s);
+  std::vector<u64> out(k_);
+  mont_mul_raw(a.data(), lit_one_.data(), out.data(), s.t.data());
+  return BigUint::from_limbs(std::move(out));
 }
 
-BigUint Montgomery::mul(const BigUint& a, const BigUint& b) const {
-  const std::vector<u64> am = to_mont(a);
-  const std::vector<u64> bm = to_mont(b);
-  std::vector<u64> prod;
-  mont_mul(am, bm, prod);
-  return from_mont(prod);
+void Montgomery::mul_mont(const Elem& a, const Elem& b, Elem& out,
+                          Scratch& s) const {
+  prepare(s);
+  out.resize(k_);
+  mont_mul_raw(a.data(), b.data(), out.data(), s.t.data());
 }
 
-BigUint Montgomery::pow(const BigUint& base, const BigUint& exp) const {
-  if (exp.is_zero()) return BigUint(1) % n_big_;
+void Montgomery::pow_mont(const Elem& base, const BigUint& exp, Elem& out,
+                          Scratch& s) const {
+  prepare(s);
+  out.assign(one_.begin(), one_.end());  // Montgomery form of 1
+  if (exp.is_zero()) return;
 
-  const std::vector<u64> base_m = to_mont(base);
-
-  // Precompute base^0..base^15 in Montgomery form (4-bit fixed window).
-  std::vector<std::vector<u64>> table(16);
-  table[0] = one_;
-  table[1] = base_m;
-  for (int i = 2; i < 16; ++i) mont_mul(table[static_cast<std::size_t>(i - 1)], base_m, table[static_cast<std::size_t>(i)]);
+  // Precompute base^0..base^15 in Montgomery form (4-bit fixed window),
+  // flat in the scratch so repeated pow calls reuse one allocation.
+  s.table.resize(16 * k_);
+  u64* table = s.table.data();
+  u64* t = s.t.data();
+  for (std::size_t i = 0; i < k_; ++i) {
+    table[i] = one_[i];
+    table[k_ + i] = base[i];
+  }
+  for (std::size_t i = 2; i < 16; ++i)
+    mont_mul_raw(table + (i - 1) * k_, base.data(), table + i * k_, t);
 
   const std::size_t bits = exp.bit_length();
   const std::size_t windows = (bits + 3) / 4;
 
-  std::vector<u64> acc = one_;  // Montgomery form of 1
-  std::vector<u64> tmp;
   for (std::size_t w = windows; w-- > 0;) {
-    for (int s = 0; s < 4; ++s) {
-      mont_mul(acc, acc, tmp);
-      acc.swap(tmp);
+    for (int sq = 0; sq < 4; ++sq) {
+      mont_mul_raw(out.data(), out.data(), s.tmp.data(), t);
+      out.swap(s.tmp);
     }
     unsigned digit = 0;
     for (int b = 3; b >= 0; --b)
-      digit = (digit << 1) | (exp.bit(w * 4 + static_cast<std::size_t>(b)) ? 1u : 0u);
+      digit =
+          (digit << 1) | (exp.bit(w * 4 + static_cast<std::size_t>(b)) ? 1u : 0u);
     if (digit != 0) {
-      mont_mul(acc, table[digit], tmp);
-      acc.swap(tmp);
+      mont_mul_raw(out.data(), table + digit * k_, s.tmp.data(), t);
+      out.swap(s.tmp);
     }
   }
-  return from_mont(acc);
+}
+
+BigUint Montgomery::mul(const BigUint& a, const BigUint& b, Scratch& s) const {
+  const Elem am = to_mont(a, s);
+  const Elem bm = to_mont(b, s);
+  Elem prod;
+  mul_mont(am, bm, prod, s);
+  return from_mont(prod, s);
+}
+
+BigUint Montgomery::mul(const BigUint& a, const BigUint& b) const {
+  Scratch s;
+  return mul(a, b, s);
+}
+
+BigUint Montgomery::pow(const BigUint& base, const BigUint& exp,
+                        Scratch& s) const {
+  if (exp.is_zero()) return BigUint(1) % n_big_;
+  const Elem base_m = to_mont(base, s);
+  Elem acc;
+  pow_mont(base_m, exp, acc, s);
+  return from_mont(acc, s);
+}
+
+BigUint Montgomery::pow(const BigUint& base, const BigUint& exp) const {
+  Scratch s;
+  return pow(base, exp, s);
 }
 
 }  // namespace slicer::bigint

@@ -4,6 +4,13 @@
 // accumulation / witnesses / verification and the RSA trapdoor permutation —
 // runs through this engine. Construction precomputes R² mod n and
 // −n⁻¹ mod 2⁶⁴ once; `pow` then uses 4-bit fixed windows.
+//
+// Thread-safety contract: a constructed Montgomery is immutable; every
+// method is const and touches no shared mutable state, so one instance may
+// be used concurrently from any number of threads. The hot-path overloads
+// take a caller-owned Scratch — keep one Scratch per thread (they are
+// cheap, lazily sized buffers) and the CIOS kernel performs zero heap
+// allocations once the scratch has warmed up.
 #pragma once
 
 #include <cstdint>
@@ -16,32 +23,77 @@ namespace slicer::bigint {
 /// Montgomery context bound to one odd modulus.
 class Montgomery {
  public:
+  using u64 = std::uint64_t;
+
+  /// A residue in Montgomery form: exactly limb_count() little-endian
+  /// limbs. Produced by to_mont / pow_mont, consumed by mul_mont /
+  /// from_mont. Keeping chains of operations in this form skips the
+  /// to/from-Montgomery round trip per step.
+  using Elem = std::vector<u64>;
+
+  /// Reusable working memory for the CIOS kernel and the pow window
+  /// table. NOT thread-safe: use one per thread.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+   private:
+    friend class Montgomery;
+    std::vector<u64> t;        // CIOS accumulator, limb_count()+2 limbs
+    std::vector<u64> tmp;      // swap buffer, limb_count() limbs
+    std::vector<u64> table;    // 16·limb_count() flat window table
+    std::vector<u64> staging;  // to_mont input staging
+  };
+
   /// Throws CryptoError unless `modulus` is odd and > 1.
   explicit Montgomery(const BigUint& modulus);
 
   /// (a * b) mod n, both operands in the regular domain.
   BigUint mul(const BigUint& a, const BigUint& b) const;
+  BigUint mul(const BigUint& a, const BigUint& b, Scratch& s) const;
 
   /// base^exp mod n.
   BigUint pow(const BigUint& base, const BigUint& exp) const;
+  BigUint pow(const BigUint& base, const BigUint& exp, Scratch& s) const;
+
+  // -- Montgomery-domain API (hot paths) --------------------------------
+
+  /// Converts into Montgomery form (reduces mod n first if needed).
+  Elem to_mont(const BigUint& a, Scratch& s) const;
+
+  /// Converts back to the regular domain.
+  BigUint from_mont(const Elem& a, Scratch& s) const;
+
+  /// out = a · b (Montgomery domain). `out` is resized to limb_count();
+  /// it must not alias the scratch, but may alias `a` or `b`.
+  void mul_mont(const Elem& a, const Elem& b, Elem& out, Scratch& s) const;
+
+  /// out = base^exp (Montgomery domain, 4-bit fixed windows). exp is a
+  /// regular (non-Montgomery) integer. `out` must not alias `base`.
+  void pow_mont(const Elem& base, const BigUint& exp, Elem& out,
+                Scratch& s) const;
+
+  /// Montgomery form of 1 (i.e. R mod n).
+  const Elem& one_mont() const { return one_; }
 
   const BigUint& modulus() const { return n_big_; }
+  std::size_t limb_count() const { return k_; }
 
  private:
-  using u64 = std::uint64_t;
+  /// CIOS kernel on raw limb pointers: out = a·b·R⁻¹ mod n. `a`, `b` and
+  /// `out` are k_ limbs (out may alias a or b); `t` is the k_+2-limb
+  /// accumulator. No allocation.
+  void mont_mul_raw(const u64* a, const u64* b, u64* out, u64* t) const;
 
-  std::vector<u64> to_mont(const BigUint& a) const;
-  BigUint from_mont(const std::vector<u64>& a) const;
-
-  /// out = a * b * R⁻¹ mod n (CIOS). All vectors have k_ limbs.
-  void mont_mul(const std::vector<u64>& a, const std::vector<u64>& b,
-                std::vector<u64>& out) const;
+  /// Grows the scratch buffers to this modulus's widths (no-op once warm).
+  void prepare(Scratch& s) const;
 
   BigUint n_big_;
-  std::vector<u64> n_;      // modulus limbs, length k_
-  std::vector<u64> rr_;     // R² mod n, length k_
-  std::vector<u64> one_;    // R mod n (Montgomery form of 1), length k_
-  u64 n0inv_ = 0;           // −n⁻¹ mod 2⁶⁴
+  std::vector<u64> n_;        // modulus limbs, length k_
+  std::vector<u64> rr_;       // R² mod n, length k_
+  std::vector<u64> one_;      // R mod n (Montgomery form of 1), length k_
+  std::vector<u64> lit_one_;  // literal 1 padded to k_ limbs (from_mont)
+  u64 n0inv_ = 0;             // −n⁻¹ mod 2⁶⁴
   std::size_t k_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include "adscrypto/hash_to_prime.hpp"
 #include "adscrypto/multiset_hash.hpp"
 #include "common/errors.hpp"
+#include "common/thread_pool.hpp"
 
 namespace slicer::core {
 
@@ -24,7 +25,14 @@ void CloudServer::apply(const UpdateOutput& update) {
     primes_.push_back(x);
   }
   ac_ = update.accumulator_value;
-  witness_cache_.clear();  // stale after any update
+  // Every cached witness is stale after an update. If the operator opted
+  // into precomputation, rebuild the cache against the new prime list;
+  // otherwise drop it and fall back to per-query witnesses.
+  if (witness_autorefresh_) {
+    precompute_witnesses();
+  } else {
+    witness_cache_.clear();
+  }
 }
 
 std::vector<Bytes> CloudServer::fetch_results(const SearchToken& token) const {
@@ -60,23 +68,27 @@ TokenReply CloudServer::prove(const SearchToken& token,
 
   TokenReply reply;
   reply.encrypted_results = std::move(results);
-  reply.witness = witness_cache_.empty()
-                      ? accumulator_.witness(primes_, it->second)
-                      : witness_cache_[it->second];
+  // The cache may lag the prime list (it is rebuilt wholesale); any prime
+  // beyond its end gets an on-demand witness instead of a stale lookup.
+  reply.witness = it->second < witness_cache_.size()
+                      ? witness_cache_[it->second]
+                      : accumulator_.witness(primes_, it->second);
   return reply;
 }
 
 std::vector<TokenReply> CloudServer::search(
     std::span<const SearchToken> tokens) const {
-  std::vector<TokenReply> out;
-  out.reserve(tokens.size());
-  for (const SearchToken& token : tokens)
-    out.push_back(prove(token, fetch_results(token)));
-  return out;
+  // Tokens of one range query are independent; fan them out and keep the
+  // replies in submission order.
+  return ThreadPool::instance().parallel_map<TokenReply>(
+      tokens.size(), [&](std::size_t i) {
+        return prove(tokens[i], fetch_results(tokens[i]));
+      });
 }
 
 void CloudServer::precompute_witnesses() {
   witness_cache_ = accumulator_.all_witnesses(primes_);
+  witness_autorefresh_ = true;
 }
 
 }  // namespace slicer::core

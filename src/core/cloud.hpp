@@ -52,7 +52,8 @@ class CloudServer {
   void restore_state(BytesView snapshot);
 
   /// Precomputes all membership witnesses with the product-tree algorithm;
-  /// afterwards prove() is an O(1) lookup until the next apply().
+  /// afterwards prove() is an O(1) lookup, and every subsequent apply()
+  /// rebuilds the cache against the updated prime list automatically.
   /// (Ablation C: amortized vs per-query VO generation.)
   void precompute_witnesses();
   bool witnesses_precomputed() const { return !witness_cache_.empty(); }
@@ -73,6 +74,7 @@ class CloudServer {
   std::vector<bigint::BigUint> primes_;                 // X
   std::unordered_map<std::string, std::size_t> prime_pos_;  // hex → index in X
   std::vector<bigint::BigUint> witness_cache_;          // parallel to primes_
+  bool witness_autorefresh_ = false;  // rebuild cache on apply()
   bigint::BigUint ac_;
 };
 

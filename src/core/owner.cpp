@@ -4,6 +4,7 @@
 
 #include "adscrypto/hash_to_prime.hpp"
 #include "common/errors.hpp"
+#include "common/thread_pool.hpp"
 #include "crypto/prf.hpp"
 #include "sore/sore.hpp"
 
@@ -107,15 +108,30 @@ UpdateOutput DataOwner::ingest(
     const std::map<std::string, std::vector<RecordId>>& grouped) {
   const RecordCipher cipher(keys_.k_r);
   UpdateOutput out;
+  ThreadPool& pool = ThreadPool::instance();
 
   // Phase 1 — encrypted index: trapdoor chains, (l, d) entries, set hashes.
+  //
+  // Pass A (serial, keyword order): everything that touches shared owner
+  // state — the DRBG draw for fresh trapdoors, the chain advance, and the
+  // set-hash pop. Keyword order fixes the DRBG consumption, so the output
+  // is bit-identical at any thread count.
   const auto index_start = std::chrono::steady_clock::now();
-  std::vector<Bytes> new_preimages;  // inputs for phase 2
-  new_preimages.reserve(grouped.size());
+
+  struct KeywordJob {
+    const std::vector<RecordId>* ids = nullptr;
+    Bytes g1, g2, t_enc;
+    std::uint32_t j = 0;
+    MultisetHash::Digest h;  // carried-forward digest (updated in pass B)
+    std::vector<std::pair<Bytes, Bytes>> entries;  // filled in pass B
+    Bytes preimage;                                // filled in pass B
+  };
+  std::vector<KeywordJob> jobs;
+  jobs.reserve(grouped.size());
 
   for (const auto& [keyword, ids] : grouped) {
     const Bytes w(keyword.begin(), keyword.end());
-    const auto [g1, g2] = crypto::derive_keyword_keys(keys_.k, w);
+    auto [g1, g2] = crypto::derive_keyword_keys(keys_.k, w);
 
     BigUint trapdoor;
     std::uint32_t j = 0;
@@ -141,29 +157,53 @@ UpdateOutput DataOwner::ingest(
     }
     trapdoor_states_[keyword] = TrapdoorState{trapdoor, j};
 
-    const Bytes t_enc = perm_.encode(trapdoor);
+    KeywordJob job;
+    job.ids = &ids;
+    job.g1 = std::move(g1);
+    job.g2 = std::move(g2);
+    job.t_enc = perm_.encode(trapdoor);
+    job.j = j;
+    job.h = std::move(h);
+    jobs.push_back(std::move(job));
+  }
+
+  // Pass B (parallel over keywords): record-id encryption, index addresses
+  // and pads, and the per-keyword multiset-hash fold — all pure functions
+  // of the job's inputs, written to per-keyword slots.
+  pool.parallel_for(jobs.size(), [&](std::size_t ji) {
+    KeywordJob& job = jobs[ji];
+    job.entries.reserve(job.ids->size());
     std::uint64_t c = 0;
-    for (const RecordId id : ids) {
+    for (const RecordId id : *job.ids) {
       const Bytes enc_id = cipher.encrypt(id);
-      const Bytes l = index_address(g1, t_enc, c);
-      const Bytes d = xor_bytes(index_pad(g2, t_enc, c), enc_id);
-      out.entries.emplace_back(l, d);
-      h = MultisetHash::add(h, MultisetHash::hash_element(enc_id));
+      const Bytes l = index_address(job.g1, job.t_enc, c);
+      const Bytes d = xor_bytes(index_pad(job.g2, job.t_enc, c), enc_id);
+      job.entries.emplace_back(l, d);
+      job.h = MultisetHash::add(job.h, MultisetHash::hash_element(enc_id));
       ++c;
     }
+    job.preimage = prime_preimage(job.t_enc, job.j, job.g1, job.g2, job.h);
+  });
 
-    const Bytes new_key = state_key(t_enc, j, g1, g2);
-    set_hashes_[std::string(new_key.begin(), new_key.end())] = h;
-    new_preimages.push_back(prime_preimage(t_enc, j, g1, g2, h));
+  // Pass C (serial, keyword order): splice results into the output and the
+  // owner's set-hash dictionary exactly as the serial loop did.
+  std::vector<Bytes> new_preimages;  // inputs for phase 2
+  new_preimages.reserve(jobs.size());
+  for (KeywordJob& job : jobs) {
+    for (auto& entry : job.entries) out.entries.push_back(std::move(entry));
+    const Bytes new_key = state_key(job.t_enc, job.j, job.g1, job.g2);
+    set_hashes_[std::string(new_key.begin(), new_key.end())] = job.h;
+    new_preimages.push_back(std::move(job.preimage));
   }
   const auto ads_start = std::chrono::steady_clock::now();
 
-  // Phase 2 — ADS: prime representatives and the accumulation value.
-  for (const Bytes& preimage : new_preimages) {
-    const BigUint x = adscrypto::hash_to_prime(preimage, config_.prime_bits);
-    out.new_primes.push_back(x);
-    primes_.push_back(x);
-  }
+  // Phase 2 — ADS: prime representatives (independent per keyword, so the
+  // hash-to-prime searches fan out) and the accumulation value.
+  out.new_primes = pool.parallel_map<BigUint>(
+      new_preimages.size(), [&](std::size_t i) {
+        return adscrypto::hash_to_prime(new_preimages[i], config_.prime_bits);
+      });
+  primes_.insert(primes_.end(), out.new_primes.begin(), out.new_primes.end());
   ac_ = accumulator_trapdoor_.has_value()
             ? accumulator_.accumulate(primes_, *accumulator_trapdoor_)
             : accumulator_.accumulate(primes_);

@@ -6,6 +6,7 @@
 #include "adscrypto/params.hpp"
 #include "bigint/primes.hpp"
 #include "common/errors.hpp"
+#include "common/thread_pool.hpp"
 
 namespace slicer::adscrypto {
 namespace {
@@ -235,6 +236,52 @@ TEST_F(AccumulatorTest, NonMembershipRejectsForgedWitness) {
   auto w3 = acc.nonmember_witness(primes, outsider);
   w3.a = outsider;  // a must be < x
   EXPECT_FALSE(RsaAccumulator::verify_nonmember(params_, ac, outsider, w3));
+}
+
+TEST_F(AccumulatorTest, AllWitnessesMatchPerIndexWitnessRandomSets) {
+  // Property: the root-factor batch output equals the naive per-index
+  // witness for every element, over random prime sets of varying size.
+  const RsaAccumulator acc(params_);
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 20u, 33u}) {
+    std::vector<BigUint> primes;
+    primes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      primes.push_back(hash_to_prime(rng_.generate(16)));
+    const BigUint ac = acc.accumulate(primes);
+    const auto all = acc.all_witnesses(primes);
+    ASSERT_EQ(all.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(all[i], acc.witness(primes, i)) << "n=" << n << " i=" << i;
+      EXPECT_TRUE(RsaAccumulator::verify(params_, ac, primes[i], all[i]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(AccumulatorTest, ParallelAllWitnessesBitIdenticalToSerial) {
+  const RsaAccumulator acc(params_);
+  const auto primes = sample_primes(33);
+  std::vector<BigUint> serial;
+  {
+    ThreadPool::ScopedSerial force_serial;
+    serial = acc.all_witnesses(primes);
+  }
+  ThreadPool::ScopedPool four(4);
+  const auto parallel = acc.all_witnesses(primes);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(Accumulator, ProductTreeParallelMatchesSerial) {
+  std::vector<BigUint> vals;
+  for (std::size_t i = 0; i < 301; ++i)
+    vals.push_back(hash_to_prime(be64(7000 + i)));
+  BigUint serial;
+  {
+    ThreadPool::ScopedSerial force_serial;
+    serial = product_tree(vals);
+  }
+  ThreadPool::ScopedPool four(4);
+  EXPECT_EQ(product_tree(vals), serial);
 }
 
 TEST(Accumulator, ProductTree) {

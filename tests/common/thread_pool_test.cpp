@@ -1,0 +1,130 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace slicer {
+namespace {
+
+TEST(ThreadPool, SerialPoolRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_TRUE(pool.is_serial());
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, CoversEveryIndexWithGrain) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 777;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(
+      kN, [&](std::size_t i) { hits[i].fetch_add(1); }, /*grain=*/13);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto out = pool.parallel_map<std::size_t>(
+      257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ThreadPool, Invoke2RunsBoth) {
+  ThreadPool pool(2);
+  std::atomic<int> a{0}, b{0};
+  pool.invoke2([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesSerial) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(3,
+                        [](std::size_t i) {
+                          if (i == 1) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ScopedSerialForcesInlineExecution) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.is_serial());
+  {
+    ThreadPool::ScopedSerial guard;
+    EXPECT_TRUE(pool.is_serial());
+    // Runs in order on this thread — a thread-id check would be flaky, but
+    // strict ordering is only guaranteed inline.
+    std::vector<std::size_t> order;
+    pool.parallel_for(6, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+  }
+  EXPECT_FALSE(pool.is_serial());
+}
+
+TEST(ThreadPool, ScopedPoolOverridesInstance) {
+  ThreadPool& base = ThreadPool::instance();
+  {
+    ThreadPool::ScopedPool guard(3);
+    EXPECT_EQ(&ThreadPool::instance(), &guard.pool());
+    EXPECT_EQ(ThreadPool::instance().thread_count(), 3u);
+  }
+  EXPECT_EQ(&ThreadPool::instance(), &base);
+}
+
+TEST(ThreadPool, ZeroAndOneElementJobs) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ManySmallJobsStress) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(64, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2);
+  }
+}
+
+}  // namespace
+}  // namespace slicer

@@ -304,9 +304,15 @@ TEST(Protocol, PrecomputedWitnessesMatchPerQueryWitnesses) {
   for (std::size_t i = 0; i < before.size(); ++i) {
     EXPECT_EQ(before[i].witness, after[i].witness);
   }
-  // Cache is invalidated by updates.
+  // Updates refresh the cache in place: it stays precomputed and serves
+  // witnesses consistent with the post-update accumulator.
   rig.ingest({{1000, 5}});
-  EXPECT_FALSE(rig.cloud->witnesses_precomputed());
+  EXPECT_TRUE(rig.cloud->witnesses_precomputed());
+  const auto tokens2 = rig.user->make_tokens(100, MatchCondition::kGreater);
+  const auto refreshed = rig.cloud->search(tokens2);
+  for (const auto& reply : refreshed) {
+    EXPECT_FALSE(reply.witness.is_zero());
+  }
 }
 
 TEST(Protocol, UpdateOutputSizesAreConsistent) {
