@@ -51,7 +51,9 @@ void BM_ProductTreeAllWitnesses(benchmark::State& state) {
 }
 
 /// Serial-vs-parallel speedup of the product-tree all-witnesses pass at the
-/// default bench scale (the acceptance metric for the parallel layer).
+/// default bench scale (the acceptance metric for the parallel layer), plus
+/// fixed-base-comb vs generic-exponentiation ratios for the same
+/// accumulator-bound work (the perf acceptance metric of the comb table).
 void speedup_extra(BenchJson& json) {
   const RsaAccumulator acc(bench_accumulator().first);
   const auto n = static_cast<std::size_t>(1024 * scale());
@@ -60,6 +62,23 @@ void speedup_extra(BenchJson& json) {
     auto all = acc.all_witnesses(primes);
     benchmark::DoNotOptimize(all);
   });
+
+  const RsaAccumulator generic(bench_accumulator().first,
+                               /*use_fixed_base=*/false);
+  report_fastpath(
+      json, "Witness/" + std::to_string(n),
+      [&] {
+        for (std::size_t i = 0; i < 4; ++i)
+          benchmark::DoNotOptimize(generic.witness(primes, i * (n / 4)));
+      },
+      [&] {
+        for (std::size_t i = 0; i < 4; ++i)
+          benchmark::DoNotOptimize(acc.witness(primes, i * (n / 4)));
+      });
+  report_fastpath(
+      json, "Accumulate/" + std::to_string(n),
+      [&] { benchmark::DoNotOptimize(generic.accumulate(primes)); },
+      [&] { benchmark::DoNotOptimize(acc.accumulate(primes)); });
 }
 
 void register_all() {

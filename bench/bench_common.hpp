@@ -202,6 +202,34 @@ inline void report_speedup(BenchJson& json, const std::string& label,
   json.add({label + "/parallel", parallel_ms, 1, {{"speedup", speedup}}});
 }
 
+/// Times `generic` and `fast` back to back and appends
+/// <label>/{generic,fast} rows with a fastpath_speedup counter — used to
+/// quantify the fixed-base comb / sieved hash-to-prime fast paths against
+/// their reference implementations (the perf acceptance metric).
+inline void report_fastpath(BenchJson& json, const std::string& label,
+                            const std::function<void()>& generic,
+                            const std::function<void()>& fast,
+                            int iterations = 1) {
+  const auto time_ms = [iterations](const std::function<void()>& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iterations; ++i) fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+               .count() /
+           iterations;
+  };
+  const double generic_ms = time_ms(generic);
+  const double fast_ms = time_ms(fast);
+  const double speedup = fast_ms > 0 ? generic_ms / fast_ms : 0;
+  std::printf("%-40s generic %.2f ms  fast %.2f ms  (%.2fx)\n", label.c_str(),
+              generic_ms, fast_ms, speedup);
+  json.add({label + "/generic", generic_ms, iterations, {}});
+  json.add({label + "/fast",
+            fast_ms,
+            iterations,
+            {{"fastpath_speedup", speedup}}});
+}
+
 /// Random query values drawn like the paper's "select random numbers".
 inline std::vector<std::uint64_t> query_values(std::size_t bits, std::size_t n,
                                                const std::string& seed = "q") {

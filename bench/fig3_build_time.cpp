@@ -7,6 +7,7 @@
 //    keyword/prime count stops growing) but rising steeply for 16/24-bit.
 #include <benchmark/benchmark.h>
 
+#include "adscrypto/hash_to_prime.hpp"
 #include "bench/bench_common.hpp"
 #include "bench/bench_json.hpp"
 
@@ -48,10 +49,54 @@ void register_all() {
   }
 }
 
+/// Fast-path ratios for the two units the ADS build phase is made of:
+/// the hash-to-prime search per fresh keyword (sieve + midstate vs the
+/// unsieved reference) and the trapdoor accumulate over the derived primes
+/// (fixed-base comb vs generic sliding window).
+void fastpath_extra(BenchJson& json) {
+  const auto n = static_cast<std::size_t>(512 * scale());
+  std::vector<Bytes> preimages;
+  preimages.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) preimages.push_back(be64(0xf3000 + i));
+
+  // Also builds the sieve tables outside the timed region.
+  std::vector<bigint::BigUint> primes;
+  primes.reserve(n);
+  for (const Bytes& p : preimages)
+    primes.push_back(adscrypto::hash_to_prime(p));
+
+  // Drain whatever the Build benchmarks cached so the timed clear below
+  // only frees this loop's own entries, not tens of thousands of stale ones.
+  adscrypto::prime_cache_clear();
+  report_fastpath(
+      json, "Fig3/AdsPrimes/" + std::to_string(n),
+      [&] {
+        for (const Bytes& p : preimages)
+          benchmark::DoNotOptimize(
+              adscrypto::hash_to_prime_counted_unsieved(p));
+      },
+      [&] {
+        adscrypto::prime_cache_clear();
+        for (const Bytes& p : preimages)
+          benchmark::DoNotOptimize(adscrypto::hash_to_prime_counted(p));
+      });
+
+  const adscrypto::RsaAccumulator fast(bench_accumulator().first);
+  const adscrypto::RsaAccumulator generic(bench_accumulator().first,
+                                          /*use_fixed_base=*/false);
+  const auto& trapdoor = bench_accumulator().second;
+  report_fastpath(
+      json, "Fig3/AdsAccumulate/" + std::to_string(n),
+      [&] { benchmark::DoNotOptimize(generic.accumulate(primes, trapdoor)); },
+      [&] { benchmark::DoNotOptimize(fast.accumulate(primes, trapdoor)); },
+      /*iterations=*/3);
+}
+
 }  // namespace
 }  // namespace slicer::bench
 
 int main(int argc, char** argv) {
   slicer::bench::register_all();
-  return slicer::bench::run_bench_main("fig3_build_time", argc, argv);
+  return slicer::bench::run_bench_main("fig3_build_time", argc, argv,
+                                       slicer::bench::fastpath_extra);
 }

@@ -40,11 +40,20 @@ BigUint AccumulatorTrapdoor::phi() const {
   return (p - BigUint(1)) * (q - BigUint(1));
 }
 
-RsaAccumulator::RsaAccumulator(AccumulatorParams params)
+RsaAccumulator::RsaAccumulator(AccumulatorParams params, bool use_fixed_base)
     : params_(std::move(params)), mont_(params_.modulus) {
   if (params_.generator.is_zero() || params_.generator.is_one() ||
       params_.generator >= params_.modulus)
     throw CryptoError("accumulator generator out of range");
+  if (use_fixed_base)
+    fixed_g_ = std::make_unique<Montgomery::FixedBase>(mont_,
+                                                       params_.generator);
+}
+
+BigUint RsaAccumulator::pow_g(const BigUint& exponent) const {
+  Montgomery::Scratch scratch;
+  if (fixed_g_) return fixed_g_->pow(exponent, scratch);
+  return mont_.pow(params_.generator, exponent, scratch);
 }
 
 std::pair<AccumulatorParams, AccumulatorTrapdoor> RsaAccumulator::setup(
@@ -80,7 +89,7 @@ BigUint RsaAccumulator::accumulate(
     std::span<const BigUint> primes) const {
   if (primes.empty()) return params_.generator;
   const BigUint exponent = product_tree(primes);
-  return mont_.pow(params_.generator, exponent);
+  return pow_g(exponent);
 }
 
 BigUint RsaAccumulator::accumulate(std::span<const BigUint> primes,
@@ -89,7 +98,7 @@ BigUint RsaAccumulator::accumulate(std::span<const BigUint> primes,
   const BigUint phi = trapdoor.phi();
   BigUint exponent(1);
   for (const BigUint& x : primes) exponent = (exponent * x) % phi;
-  return mont_.pow(params_.generator, exponent);
+  return pow_g(exponent);
 }
 
 BigUint RsaAccumulator::witness(std::span<const BigUint> primes,
@@ -100,14 +109,15 @@ BigUint RsaAccumulator::witness(std::span<const BigUint> primes,
   // the two balanced sub-products around the hole.
   const BigUint left = product_tree(primes.subspan(0, index));
   const BigUint right = product_tree(primes.subspan(index + 1));
-  return mont_.pow(params_.generator, left * right);
+  return pow_g(left * right);
 }
 
 void RsaAccumulator::all_witnesses_rec(std::span<const BigUint> primes,
                                        const Montgomery::Elem& base,
                                        std::size_t lo, std::size_t hi,
                                        std::vector<BigUint>& out,
-                                       Montgomery::Scratch& scratch) const {
+                                       Montgomery::Scratch& scratch,
+                                       const Montgomery::FixedBase* fixed) const {
   if (hi - lo == 1) {
     out[lo] = mont_.from_mont(base, scratch);
     return;
@@ -118,9 +128,21 @@ void RsaAccumulator::all_witnesses_rec(std::span<const BigUint> primes,
 
   // Left half still owes the right half's primes in its exponent, and vice
   // versa — the classic root-factor recursion. The base stays in Montgomery
-  // form across every level; only the leaves convert back.
+  // form across every level; only the leaves convert back. At the root the
+  // base is still g, so the two half-exponent pows go through the comb
+  // table; below that the bases are derived values and use the generic
+  // sliding window.
   ThreadPool& pool = ThreadPool::instance();
   const bool fork = !pool.is_serial() && hi - lo >= kWitnessForkThreshold;
+
+  const auto half_pow = [&](const BigUint& exponent, Montgomery::Elem& dst,
+                            Montgomery::Scratch& s) {
+    if (fixed != nullptr) {
+      fixed->pow_mont(exponent, dst, s);
+    } else {
+      mont_.pow_mont(base, exponent, dst, s);
+    }
+  };
 
   Montgomery::Elem left_base, right_base;
   if (fork) {
@@ -128,26 +150,26 @@ void RsaAccumulator::all_witnesses_rec(std::span<const BigUint> primes,
     pool.invoke2(
         [&] {
           Montgomery::Scratch s;
-          mont_.pow_mont(base, prod_right, left_base, s);
+          half_pow(prod_right, left_base, s);
         },
         [&] {
           Montgomery::Scratch s;
-          mont_.pow_mont(base, prod_left, right_base, s);
+          half_pow(prod_left, right_base, s);
         });
     pool.invoke2(
         [&] {
           Montgomery::Scratch s;
-          all_witnesses_rec(primes, left_base, lo, mid, out, s);
+          all_witnesses_rec(primes, left_base, lo, mid, out, s, nullptr);
         },
         [&] {
           Montgomery::Scratch s;
-          all_witnesses_rec(primes, right_base, mid, hi, out, s);
+          all_witnesses_rec(primes, right_base, mid, hi, out, s, nullptr);
         });
   } else {
-    mont_.pow_mont(base, prod_right, left_base, scratch);
-    mont_.pow_mont(base, prod_left, right_base, scratch);
-    all_witnesses_rec(primes, left_base, lo, mid, out, scratch);
-    all_witnesses_rec(primes, right_base, mid, hi, out, scratch);
+    half_pow(prod_right, left_base, scratch);
+    half_pow(prod_left, right_base, scratch);
+    all_witnesses_rec(primes, left_base, lo, mid, out, scratch, nullptr);
+    all_witnesses_rec(primes, right_base, mid, hi, out, scratch, nullptr);
   }
 }
 
@@ -157,15 +179,21 @@ std::vector<BigUint> RsaAccumulator::all_witnesses(
   if (primes.empty()) return out;
   Montgomery::Scratch scratch;
   const Montgomery::Elem base = mont_.to_mont(params_.generator, scratch);
-  all_witnesses_rec(primes, base, 0, primes.size(), out, scratch);
+  all_witnesses_rec(primes, base, 0, primes.size(), out, scratch,
+                    fixed_g_.get());
   return out;
 }
 
 bool RsaAccumulator::verify(const AccumulatorParams& params, const BigUint& ac,
                             const BigUint& element, const BigUint& witness) {
-  if (witness.is_zero() || witness >= params.modulus) return false;
-  if (element.is_zero()) return false;
   const bigint::Montgomery mont(params.modulus);
+  return verify(mont, ac, element, witness);
+}
+
+bool RsaAccumulator::verify(const bigint::Montgomery& mont, const BigUint& ac,
+                            const BigUint& element, const BigUint& witness) {
+  if (witness.is_zero() || witness >= mont.modulus()) return false;
+  if (element.is_zero()) return false;
   return mont.pow(witness, element) == ac;
 }
 
@@ -190,7 +218,7 @@ RsaAccumulator::NonMembershipWitness RsaAccumulator::nonmember_witness(
   const auto qr = BigUint::divmod(a * u - BigUint(1), x);
   if (!qr.remainder.is_zero())
     throw CryptoError("nonmember_witness: internal Bezout inconsistency");
-  return NonMembershipWitness{a, mont_.pow(params_.generator, qr.quotient)};
+  return NonMembershipWitness{a, pow_g(qr.quotient)};
 }
 
 bool RsaAccumulator::verify_nonmember(const AccumulatorParams& params,

@@ -8,6 +8,7 @@
 // membership witness; the smart contract checks `witness^x == Ac (mod n)`.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -39,7 +40,10 @@ struct AccumulatorTrapdoor {
 /// RSA accumulator bound to fixed parameters.
 class RsaAccumulator {
  public:
-  explicit RsaAccumulator(AccumulatorParams params);
+  /// `use_fixed_base` keeps the comb table for g^e exponentiations
+  /// (default). Disabling it routes everything through the generic sliding
+  /// window — only benchmarks do this, to quantify the table's speedup.
+  explicit RsaAccumulator(AccumulatorParams params, bool use_fixed_base = true);
 
   /// Generates fresh parameters. `safe_primes` selects genuine safe primes
   /// (slow for large widths — intended for offline setup) versus ordinary
@@ -78,6 +82,14 @@ class RsaAccumulator {
                      const bigint::BigUint& element,
                      const bigint::BigUint& witness);
 
+  /// Same check against a prebuilt Montgomery context bound to the
+  /// accumulator modulus — lets a verifier amortize the context (R² mod n)
+  /// across the many replies of one query instead of re-deriving it per
+  /// witness (see core/verify.cpp).
+  static bool verify(const bigint::Montgomery& mont, const bigint::BigUint& ac,
+                     const bigint::BigUint& element,
+                     const bigint::BigUint& witness);
+
   /// Non-membership witness (Li–Li–Xue universal accumulator, the paper's
   /// ADS reference [28]): for prime x ∉ X, a pair (a, d) with
   /// Ac^a = d^x · g (mod n) and 1 <= a < x, derived from Bézout
@@ -101,14 +113,25 @@ class RsaAccumulator {
   /// Root-factor recursion over [lo, hi). `base` is in Montgomery form and
   /// already carries every prime outside the range in its exponent; halves
   /// are forked onto the thread pool for large ranges. `scratch` belongs
-  /// to the calling thread; forked branches allocate their own.
+  /// to the calling thread; forked branches allocate their own. `fixed` is
+  /// non-null only at the root, where `base` is still the generator g and
+  /// the two half-exponent pows can use the comb table.
   void all_witnesses_rec(std::span<const bigint::BigUint> primes,
                          const bigint::Montgomery::Elem& base, std::size_t lo,
                          std::size_t hi, std::vector<bigint::BigUint>& out,
-                         bigint::Montgomery::Scratch& scratch) const;
+                         bigint::Montgomery::Scratch& scratch,
+                         const bigint::Montgomery::FixedBase* fixed) const;
+
+  /// g^exponent mod n through the comb table when enabled.
+  bigint::BigUint pow_g(const bigint::BigUint& exponent) const;
 
   AccumulatorParams params_;
   bigint::Montgomery mont_;
+  /// Comb table for the generator — every membership/non-membership
+  /// exponentiation in this class is a power of the same g. Behind a
+  /// unique_ptr because the table (with its internal lock) is immovable
+  /// while RsaAccumulator itself must stay movable.
+  std::unique_ptr<bigint::Montgomery::FixedBase> fixed_g_;
 };
 
 /// Balanced product of a range of primes, computed as a bottom-up pairwise

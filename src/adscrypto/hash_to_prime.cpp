@@ -1,25 +1,32 @@
 #include "adscrypto/hash_to_prime.hpp"
 
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
 #include "bigint/primes.hpp"
 #include "common/errors.hpp"
 #include "crypto/sha256.hpp"
 
 namespace slicer::adscrypto {
 
-bigint::BigUint hash_to_prime_candidate(BytesView data, std::uint64_t counter,
-                                        std::size_t bits) {
+namespace {
+
+void check_bits(std::size_t bits) {
   if (bits < 16 || bits > 256)
     throw CryptoError("hash_to_prime: width must be in [16, 256]");
+}
 
+/// Truncates a digest to `bits`, forcing exact width and oddness.
+bigint::BigUint shape_candidate(
+    const std::array<std::uint8_t, crypto::Sha256::kDigestSize>& digest,
+    std::size_t bits) {
   const std::size_t bytes = (bits + 7) / 8;
-  crypto::Sha256 ctx;
-  ctx.update(str_bytes("slicer.h_prime"));
-  ctx.update(data);
-  ctx.update(be64(counter));
-  const auto digest = ctx.finish();
-
   Bytes truncated(digest.begin(), digest.begin() + static_cast<long>(bytes));
-  // Force exact bit width and oddness.
   const std::size_t top_bit = (bits - 1) % 8;
   truncated[0] &= static_cast<std::uint8_t>((1u << (top_bit + 1)) - 1u);
   truncated[0] |= static_cast<std::uint8_t>(1u << top_bit);
@@ -27,7 +34,97 @@ bigint::BigUint hash_to_prime_candidate(BytesView data, std::uint64_t counter,
   return bigint::BigUint::from_bytes_be(truncated);
 }
 
+/// Context with the constant prefix and `data` already absorbed. The
+/// per-counter work is then a copy of this midstate plus 8 counter bytes —
+/// the prefix+data blocks are compressed exactly once per search, not once
+/// per counter.
+crypto::Sha256 absorb_prefix(BytesView data) {
+  crypto::Sha256 ctx;
+  ctx.update(str_bytes("slicer.h_prime"));
+  ctx.update(data);
+  return ctx;
+}
+
+bigint::BigUint candidate_from(const crypto::Sha256& midstate,
+                               std::uint64_t counter, std::size_t bits) {
+  crypto::Sha256 ctx = midstate;
+  std::array<std::uint8_t, 8> ctr;
+  for (std::size_t i = 0; i < 8; ++i)
+    ctr[i] = static_cast<std::uint8_t>(counter >> (8 * (7 - i)));
+  ctx.update(BytesView(ctr.data(), ctr.size()));
+  return shape_candidate(ctx.finish(), bits);
+}
+
+/// Process-wide memo cache (see the header for the policy). Reads take a
+/// shared lock so concurrent Build/Search threads don't serialize on hits.
+struct PrimeCache {
+  std::shared_mutex mu;
+  std::unordered_map<std::string, PrimeWithCounter> map;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+};
+
+PrimeCache& prime_cache() {
+  static PrimeCache cache;
+  return cache;
+}
+
+std::string cache_key(BytesView data, std::size_t bits) {
+  std::string key;
+  key.reserve(data.size() + 2);
+  key.push_back(static_cast<char>(bits >> 8));
+  key.push_back(static_cast<char>(bits & 0xff));
+  key.append(reinterpret_cast<const char*>(data.data()), data.size());
+  return key;
+}
+
+}  // namespace
+
+bigint::BigUint hash_to_prime_candidate(BytesView data, std::uint64_t counter,
+                                        std::size_t bits) {
+  check_bits(bits);
+  return candidate_from(absorb_prefix(data), counter, bits);
+}
+
 PrimeWithCounter hash_to_prime_counted(BytesView data, std::size_t bits) {
+  check_bits(bits);
+  PrimeCache& cache = prime_cache();
+  std::string key = cache_key(data, bits);
+  {
+    std::shared_lock lock(cache.mu);
+    const auto it = cache.map.find(key);
+    if (it != cache.map.end()) {
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  cache.misses.fetch_add(1, std::memory_order_relaxed);
+
+  const crypto::Sha256 midstate = absorb_prefix(data);
+  PrimeWithCounter found;
+  for (std::uint64_t counter = 0;; ++counter) {
+    bigint::BigUint candidate = candidate_from(midstate, counter, bits);
+    // Trial division rejects ~90% of candidates for a multiply per sieve
+    // prime; only survivors pay for Miller–Rabin. A sieve hit is always a
+    // true compositeness witness, so the surviving counter is identical
+    // to the unsieved search (asserted in tests).
+    if (bigint::has_small_prime_factor(candidate)) continue;
+    if (bigint::is_probable_prime_fixed(candidate)) {
+      found = PrimeWithCounter{std::move(candidate), counter};
+      break;
+    }
+  }
+
+  {
+    std::unique_lock lock(cache.mu);
+    if (cache.map.size() >= kPrimeCacheMaxEntries) cache.map.clear();
+    cache.map.emplace(std::move(key), found);
+  }
+  return found;
+}
+
+PrimeWithCounter hash_to_prime_counted_unsieved(BytesView data,
+                                                std::size_t bits) {
   for (std::uint64_t counter = 0;; ++counter) {
     bigint::BigUint candidate = hash_to_prime_candidate(data, counter, bits);
     if (bigint::is_probable_prime_fixed(candidate))
@@ -37,6 +134,22 @@ PrimeWithCounter hash_to_prime_counted(BytesView data, std::size_t bits) {
 
 bigint::BigUint hash_to_prime(BytesView data, std::size_t bits) {
   return hash_to_prime_counted(data, bits).prime;
+}
+
+PrimeCacheStats prime_cache_stats() {
+  PrimeCache& cache = prime_cache();
+  std::shared_lock lock(cache.mu);
+  return PrimeCacheStats{cache.hits.load(std::memory_order_relaxed),
+                         cache.misses.load(std::memory_order_relaxed),
+                         cache.map.size()};
+}
+
+void prime_cache_clear() {
+  PrimeCache& cache = prime_cache();
+  std::unique_lock lock(cache.mu);
+  cache.map.clear();
+  cache.hits.store(0, std::memory_order_relaxed);
+  cache.misses.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace slicer::adscrypto

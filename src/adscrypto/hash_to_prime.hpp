@@ -42,4 +42,36 @@ PrimeWithCounter hash_to_prime_counted(BytesView data,
 bigint::BigUint hash_to_prime_candidate(BytesView data, std::uint64_t counter,
                                         std::size_t bits = kDefaultPrimeBits);
 
+/// Reference search without the trial-division sieve, the hoisted SHA-256
+/// midstate, or the memo cache: one full hash and one full Miller–Rabin
+/// run per counter, exactly like the original implementation. Kept so
+/// tests and benchmarks can assert the fast path returns the identical
+/// (prime, counter) and measure what the filters buy.
+PrimeWithCounter hash_to_prime_counted_unsieved(
+    BytesView data, std::size_t bits = kDefaultPrimeBits);
+
+// -- Prime memo cache -------------------------------------------------------
+//
+// The same (data, bits) pair recurs across the protocol: the owner derives
+// the prime at Build, the cloud re-derives it at Search (prove), and the
+// verifier/contract again at Verify. hash_to_prime[_counted] therefore
+// memoizes results in one process-wide bounded map; the functions below
+// expose its state for tests and benchmarks.
+
+/// Entry cap. At ~100 bytes/entry the cache tops out around 6 MB; on
+/// overflow it is cleared wholesale (generational reset) rather than
+/// LRU-evicted — the next Build simply re-warms it (DESIGN.md §3d).
+inline constexpr std::size_t kPrimeCacheMaxEntries = std::size_t{1} << 16;
+
+struct PrimeCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+};
+PrimeCacheStats prime_cache_stats();
+
+/// Empties the cache and zeroes the counters (benchmarks separate cold and
+/// warm runs with this).
+void prime_cache_clear();
+
 }  // namespace slicer::adscrypto

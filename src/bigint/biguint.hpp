@@ -93,8 +93,11 @@ class BigUint {
   static BigUint sub_mod(const BigUint& a, const BigUint& b, const BigUint& m);
   /// (a * b) mod m.
   static BigUint mul_mod(const BigUint& a, const BigUint& b, const BigUint& m);
-  /// a^e mod m. Uses Montgomery for odd m, generic square-and-multiply
-  /// otherwise. Throws CryptoError when m is zero.
+  /// a^e mod m. Odd m goes straight through Montgomery; even m is split as
+  /// m = 2^s·q and recombined by CRT, so the odd part q still uses
+  /// Montgomery and the 2-power part is truncated square-and-multiply —
+  /// no caller can hit a per-step division path. Throws CryptoError when
+  /// m is zero.
   static BigUint pow_mod(const BigUint& a, const BigUint& e, const BigUint& m);
 
   /// Greatest common divisor.

@@ -1,6 +1,7 @@
 #include "bigint/primes.hpp"
 
 #include <array>
+#include <vector>
 
 #include "bigint/montgomery.hpp"
 #include "common/errors.hpp"
@@ -8,6 +9,22 @@
 namespace slicer::bigint {
 
 namespace {
+
+/// The 2048th prime — upper bound of the trial-division sieve.
+constexpr std::uint32_t kSieveLimit = 17863;
+
+std::vector<std::uint32_t> build_sieve() {
+  std::vector<bool> composite(kSieveLimit + 1, false);
+  std::vector<std::uint32_t> primes;
+  primes.reserve(2048);
+  for (std::uint32_t i = 2; i <= kSieveLimit; ++i) {
+    if (composite[i]) continue;
+    primes.push_back(i);
+    for (std::uint64_t j = std::uint64_t{i} * i; j <= kSieveLimit; j += i)
+      composite[static_cast<std::size_t>(j)] = true;
+  }
+  return primes;
+}
 
 // Small primes for trial-division prefiltering.
 constexpr std::array<std::uint64_t, 54> kSmallPrimes = {
@@ -36,6 +53,94 @@ bool mr_round(const BigUint& n, const BigUint& a, const BigUint& d,
 }
 
 }  // namespace
+
+std::uint64_t mod_u64(const BigUint& n, std::uint64_t d) {
+  if (d == 0) throw CryptoError("mod_u64: division by zero");
+  const auto& limbs = n.limbs();
+  std::uint64_t r = 0;
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    const unsigned __int128 acc =
+        (static_cast<unsigned __int128>(r) << 64) | limbs[i];
+    r = static_cast<std::uint64_t>(acc % d);
+  }
+  return r;
+}
+
+std::span<const std::uint32_t> sieve_primes() {
+  static const std::vector<std::uint32_t> primes = build_sieve();
+  return primes;
+}
+
+namespace {
+
+/// Sieve entry with the constants of the multiply-based divisibility test:
+/// for odd p, p | v ⟺ v·p⁻¹ (mod 2⁶⁴) ≤ ⌊(2⁶⁴−1)/p⌋ — one multiply and a
+/// compare instead of a hardware division per prime.
+struct SieveEntry {
+  std::uint32_t p;
+  std::uint64_t inv;  // p⁻¹ mod 2⁶⁴
+  std::uint64_t lim;  // ⌊(2⁶⁴−1)/p⌋
+};
+
+const std::vector<SieveEntry>& sieve_entries() {
+  static const std::vector<SieveEntry> entries = [] {
+    std::vector<SieveEntry> out;
+    const auto primes = sieve_primes();
+    out.reserve(primes.size() - 1);
+    for (std::size_t i = 1; i < primes.size(); ++i) {  // skip 2: parity bit
+      const std::uint64_t p = primes[i];
+      std::uint64_t inv = p;  // Hensel: each step doubles the correct bits
+      for (int it = 0; it < 5; ++it) inv *= 2 - p * inv;
+      out.push_back(SieveEntry{static_cast<std::uint32_t>(p), inv,
+                               ~std::uint64_t{0} / p});
+    }
+    return out;
+  }();
+  return entries;
+}
+
+}  // namespace
+
+bool has_small_prime_factor(const BigUint& n) {
+  const auto& limbs = n.limbs();
+  if (limbs.empty()) return false;  // 0 — let the primality test reject it
+  if ((limbs[0] & 1) == 0) return n != BigUint(2);
+  // Scan depth scales with width: the marginal gain of dividing by p is
+  // ~cost(Miller–Rabin)/p, and Miller–Rabin grows quadratically in limbs
+  // while a trial division is one multiply — so wide candidates afford the
+  // whole sieve but one-limb candidates stop after 256 primes (any prefix
+  // of the sieve is still an exact compositeness filter).
+  const auto& entries = sieve_entries();
+  const std::size_t depth =
+      limbs.size() == 1
+          ? std::min<std::size_t>(entries.size(), 256)
+          : entries.size();
+  if (limbs.size() == 1) {
+    // One multiply per prime. v < p with p | v is impossible for odd
+    // nonzero v, so a hit means v is a multiple — composite unless it is
+    // the prime itself.
+    const std::uint64_t v = limbs[0];
+    for (std::size_t j = 0; j < depth; ++j) {
+      const SieveEntry& e = entries[j];
+      if (v * e.inv <= e.lim) return v != e.p;
+    }
+    return false;
+  }
+  // Multi-limb: Horner in 32-bit halves keeps every intermediate inside one
+  // word (no 128-bit division). n ≥ 2⁶⁴ exceeds every sieve prime, so a
+  // zero residue is always a true compositeness witness.
+  for (std::size_t j = 0; j < depth; ++j) {
+    const SieveEntry& e = entries[j];
+    const std::uint64_t p = e.p;
+    std::uint64_t r = 0;
+    for (std::size_t i = limbs.size(); i-- > 0;) {
+      r = ((r << 32) | (limbs[i] >> 32)) % p;
+      r = ((r << 32) | (limbs[i] & 0xffffffffu)) % p;
+    }
+    if (r == 0) return true;
+  }
+  return false;
+}
 
 BigUint random_below(crypto::Drbg& rng, const BigUint& bound) {
   if (bound.is_zero()) throw CryptoError("random_below: zero bound");
@@ -71,9 +176,7 @@ namespace {
 int mr_prepare(const BigUint& n, BigUint& d, std::size_t& r) {
   if (n < BigUint(2)) return 0;
   for (std::uint64_t p : kSmallPrimes) {
-    if (n == BigUint(p)) return 1;
-    BigUint tmp = n;
-    if (tmp.divmod_u64(p) == 0) return 0;
+    if (mod_u64(n, p) == 0) return n == BigUint(p) ? 1 : 0;
   }
   const BigUint n_minus_1 = n - BigUint(1);
   d = n_minus_1;
@@ -143,8 +246,7 @@ BigUint generate_safe_prime(crypto::Drbg& rng, std::size_t bits, int rounds) {
     // Cheap prefilter: p mod small primes.
     bool divisible = false;
     for (std::uint64_t sp : kSmallPrimes) {
-      BigUint tmp = p;
-      if (tmp.divmod_u64(sp) == 0 && p != BigUint(sp)) {
+      if (mod_u64(p, sp) == 0 && p != BigUint(sp)) {
         divisible = true;
         break;
       }

@@ -5,10 +5,32 @@
 // backs the RSA accumulator setup.
 #pragma once
 
+#include <cstdint>
+#include <span>
+
 #include "bigint/biguint.hpp"
 #include "crypto/drbg.hpp"
 
 namespace slicer::bigint {
+
+/// n mod d for a nonzero word divisor. Horner over the limbs — unlike
+/// divmod_u64 it never copies n, so trial-division loops stay
+/// allocation-free.
+std::uint64_t mod_u64(const BigUint& n, std::uint64_t d);
+
+/// The trial-division sieve: the first 2048 primes (2 … 17863), ascending.
+/// Built once on first use; read-only afterwards (safe to share across
+/// threads).
+std::span<const std::uint32_t> sieve_primes();
+
+/// True only when a sieve prime p ≠ n divides n — i.e. n is certainly
+/// composite (never true for a prime, so rejecting on this predicate can
+/// never change which candidate H_prime settles on). Scans a width-scaled
+/// prefix of the sieve: ~256 primes for one-limb candidates, all 2048 for
+/// wider ones — trial division costs one multiply while Miller–Rabin
+/// grows quadratically in limbs, so the break-even depth grows with width
+/// (DESIGN.md §3d). A false result therefore proves nothing.
+bool has_small_prime_factor(const BigUint& n);
 
 /// Uniform BigUint in [0, bound). `bound` must be nonzero.
 BigUint random_below(crypto::Drbg& rng, const BigUint& bound);

@@ -58,6 +58,8 @@ TokenReply CloudServer::prove(const SearchToken& token,
   for (const Bytes& er : results)
     h = MultisetHash::add(h, MultisetHash::hash_element(er));
 
+  // Served from the shared prime cache when the owner derived this prime
+  // at build time in the same process; otherwise the sieved search runs.
   const BigUint x = adscrypto::hash_to_prime(
       prime_preimage(token.trapdoor, token.j, token.g1, token.g2, h),
       prime_bits_);

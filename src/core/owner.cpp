@@ -198,7 +198,10 @@ UpdateOutput DataOwner::ingest(
   const auto ads_start = std::chrono::steady_clock::now();
 
   // Phase 2 — ADS: prime representatives (independent per keyword, so the
-  // hash-to-prime searches fan out) and the accumulation value.
+  // hash-to-prime searches fan out) and the accumulation value. The primes
+  // land in the process-wide memo cache, so the cloud's prove() and the
+  // verifier re-derive them as lookups when co-located (tests, benches,
+  // the simulated chain).
   out.new_primes = pool.parallel_map<BigUint>(
       new_preimages.size(), [&](std::size_t i) {
         return adscrypto::hash_to_prime(new_preimages[i], config_.prime_bits);

@@ -2,14 +2,21 @@
 
 #include "adscrypto/hash_to_prime.hpp"
 #include "adscrypto/multiset_hash.hpp"
+#include "bigint/montgomery.hpp"
 
 namespace slicer::core {
 
 using adscrypto::MultisetHash;
 
-bool verify_reply(const adscrypto::AccumulatorParams& params,
-                  const bigint::BigUint& ac, const SearchToken& token,
-                  const TokenReply& reply, std::size_t prime_bits) {
+namespace {
+
+/// Shared body of verify_reply/verify_query: recomputes the multiset hash
+/// and prime representative (served from the process-wide prime cache when
+/// the owner or cloud already derived it) and checks the witness against a
+/// caller-provided Montgomery context.
+bool verify_reply_with(const bigint::Montgomery& mont,
+                       const bigint::BigUint& ac, const SearchToken& token,
+                       const TokenReply& reply, std::size_t prime_bits) {
   MultisetHash::Digest h = MultisetHash::empty();
   for (const Bytes& er : reply.encrypted_results)
     h = MultisetHash::add(h, MultisetHash::hash_element(er));
@@ -18,7 +25,16 @@ bool verify_reply(const adscrypto::AccumulatorParams& params,
       prime_preimage(token.trapdoor, token.j, token.g1, token.g2, h),
       prime_bits);
 
-  return adscrypto::RsaAccumulator::verify(params, ac, x, reply.witness);
+  return adscrypto::RsaAccumulator::verify(mont, ac, x, reply.witness);
+}
+
+}  // namespace
+
+bool verify_reply(const adscrypto::AccumulatorParams& params,
+                  const bigint::BigUint& ac, const SearchToken& token,
+                  const TokenReply& reply, std::size_t prime_bits) {
+  const bigint::Montgomery mont(params.modulus);
+  return verify_reply_with(mont, ac, token, reply, prime_bits);
 }
 
 bool verify_query(const adscrypto::AccumulatorParams& params,
@@ -27,8 +43,12 @@ bool verify_query(const adscrypto::AccumulatorParams& params,
                   std::span<const TokenReply> replies,
                   std::size_t prime_bits) {
   if (tokens.size() != replies.size()) return false;
+  if (tokens.empty()) return true;
+  // One Montgomery context (R² mod n, −n⁻¹) amortized across every reply of
+  // the query instead of re-derived per witness.
+  const bigint::Montgomery mont(params.modulus);
   for (std::size_t i = 0; i < tokens.size(); ++i) {
-    if (!verify_reply(params, ac, tokens[i], replies[i], prime_bits))
+    if (!verify_reply_with(mont, ac, tokens[i], replies[i], prime_bits))
       return false;
   }
   return true;

@@ -20,6 +20,14 @@ class Sha256 {
 
   Sha256();
 
+  /// Contexts are plain value types: copying one captures its midstate.
+  /// Absorb a constant prefix once, then clone the context per suffix —
+  /// H_prime does this so each counter attempt hashes only 8 fresh bytes
+  /// instead of re-absorbing the whole prefix+data (see
+  /// adscrypto/hash_to_prime.cpp).
+  Sha256(const Sha256&) = default;
+  Sha256& operator=(const Sha256&) = default;
+
   /// Absorbs `data` into the hash state.
   void update(BytesView data);
 

@@ -292,5 +292,29 @@ TEST(Accumulator, ProductTree) {
   EXPECT_EQ(product_tree(std::span<const BigUint>(vals.data(), 1)), BigUint(2));
 }
 
+TEST_F(AccumulatorTest, FixedBasePathBitIdenticalToGeneric) {
+  // The comb-table accumulator must produce byte-for-byte the same
+  // accumulation value, per-index witnesses, batch witnesses and
+  // non-membership witness as the generic sliding-window path — the
+  // on-chain values may not depend on which engine computed them.
+  const RsaAccumulator fast(params_, /*use_fixed_base=*/true);
+  const RsaAccumulator generic(params_, /*use_fixed_base=*/false);
+  const auto primes = sample_primes(13);
+
+  EXPECT_EQ(fast.accumulate(primes), generic.accumulate(primes));
+  EXPECT_EQ(fast.accumulate(primes, trapdoor_),
+            generic.accumulate(primes, trapdoor_));
+  for (std::size_t i = 0; i < primes.size(); ++i) {
+    EXPECT_EQ(fast.witness(primes, i), generic.witness(primes, i)) << i;
+  }
+  EXPECT_EQ(fast.all_witnesses(primes), generic.all_witnesses(primes));
+
+  const BigUint outsider = hash_to_prime(str_bytes("not-a-member"));
+  const auto nw_fast = fast.nonmember_witness(primes, outsider);
+  const auto nw_generic = generic.nonmember_witness(primes, outsider);
+  EXPECT_EQ(nw_fast.a, nw_generic.a);
+  EXPECT_EQ(nw_fast.d, nw_generic.d);
+}
+
 }  // namespace
 }  // namespace slicer::adscrypto

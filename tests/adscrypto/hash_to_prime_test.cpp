@@ -50,5 +50,64 @@ TEST(HashToPrime, RejectsBadWidths) {
   EXPECT_THROW(hash_to_prime(str_bytes("x"), 257), CryptoError);
 }
 
+TEST(HashToPrime, SievedMatchesUnsievedExactly) {
+  // The sieve + midstate fast path must settle on the identical
+  // (prime, counter) as the reference search for every input — this is
+  // what keeps owner, cloud and contract in agreement.
+  for (std::size_t bits : {16u, 64u, 128u, 256u}) {
+    for (int i = 0; i < 25; ++i) {
+      const Bytes data = be64(static_cast<std::uint64_t>(1000 * i + 7));
+      const auto fast = hash_to_prime_counted(data, bits);
+      const auto ref = hash_to_prime_counted_unsieved(data, bits);
+      EXPECT_EQ(fast.prime, ref.prime) << "bits=" << bits << " i=" << i;
+      EXPECT_EQ(fast.counter, ref.counter) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(HashToPrime, CandidateMatchesMidstateSearch) {
+  // hash_to_prime_candidate(data, counter) replayed at the returned
+  // counter must reproduce the found prime (the contract relies on this).
+  const Bytes data = str_bytes("replay-me");
+  const auto found = hash_to_prime_counted(data);
+  EXPECT_EQ(hash_to_prime_candidate(data, found.counter), found.prime);
+}
+
+TEST(HashToPrime, CacheServesRepeats) {
+  prime_cache_clear();
+  const Bytes data = str_bytes("cached-element");
+  const auto first = hash_to_prime_counted(data);
+  const auto before = prime_cache_stats();
+  const auto second = hash_to_prime_counted(data);
+  const auto after = prime_cache_stats();
+  EXPECT_EQ(first.prime, second.prime);
+  EXPECT_EQ(first.counter, second.counter);
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_GE(after.entries, 1u);
+}
+
+TEST(HashToPrime, CacheKeysOnWidthToo) {
+  prime_cache_clear();
+  const Bytes data = str_bytes("width-matters");
+  const auto p64 = hash_to_prime_counted(data, 64);
+  const auto p128 = hash_to_prime_counted(data, 128);
+  EXPECT_NE(p64.prime, p128.prime);
+  EXPECT_EQ(prime_cache_stats().entries, 2u);
+  // Both widths hit their own entry on replay.
+  EXPECT_EQ(hash_to_prime_counted(data, 64).prime, p64.prime);
+  EXPECT_EQ(hash_to_prime_counted(data, 128).prime, p128.prime);
+  EXPECT_EQ(prime_cache_stats().hits, 2u);
+}
+
+TEST(HashToPrime, ClearResetsStats) {
+  hash_to_prime(str_bytes("warm"));
+  prime_cache_clear();
+  const auto stats = prime_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
 }  // namespace
 }  // namespace slicer::adscrypto

@@ -176,9 +176,43 @@ TEST(BigUint, PowModFermat) {
 }
 
 TEST(BigUint, PowModEvenModulus) {
-  // 7^13 mod 2^20 — exercises the non-Montgomery fallback.
+  // 7^13 mod 2^20 — a pure power of two takes the truncation-only path.
   EXPECT_EQ(BigUint::pow_mod(BigUint(7), BigUint(13), BigUint(1) << 20),
             BigUint(96889010407ULL % (1 << 20)));
+}
+
+TEST(BigUint, PowModEvenModulusMatchesNaive) {
+  // The CRT split (m = 2^s·q) must agree with naive square-and-multiply
+  // for every parity/shape of modulus.
+  const auto naive = [](const BigUint& a, std::uint64_t e, const BigUint& m) {
+    BigUint r(1);
+    for (std::uint64_t i = 0; i < e; ++i) r = (r * a) % m;
+    return r;
+  };
+  for (std::uint64_t m : {2u, 4u, 6u, 10u, 12u, 100u, 1000u, 65536u,
+                          123456u, 7864320u}) {
+    const BigUint mod(m);
+    for (std::uint64_t a : {0u, 1u, 2u, 7u, 123u, 99999u}) {
+      for (std::uint64_t e : {0u, 1u, 2u, 3u, 17u, 64u}) {
+        EXPECT_EQ(BigUint::pow_mod(BigUint(a), BigUint(e), mod),
+                  naive(BigUint(a), e, mod))
+            << a << "^" << e << " mod " << m;
+      }
+    }
+  }
+}
+
+TEST(BigUint, PowModEvenModulusWide) {
+  // Multi-limb even modulus with a large odd part.
+  const BigUint m = (BigUint::from_hex("f000000000000000000000000000000d")
+                     << 5);  // 2^5 · odd
+  const BigUint a = BigUint::from_hex("123456789abcdef0fedcba9876543210");
+  const BigUint e(1000);
+  // Reference: repeated squaring with explicit reduction.
+  BigUint want(1);
+  BigUint base = a % m;
+  for (int i = 0; i < 1000; ++i) want = (want * base) % m;
+  EXPECT_EQ(BigUint::pow_mod(a, e, m), want);
 }
 
 TEST(BigUint, PowModZeroExponent) {

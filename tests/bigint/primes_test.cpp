@@ -97,5 +97,66 @@ TEST(Primes, RandomBitsRejectsTiny) {
   EXPECT_THROW(random_bits(rng, 1), CryptoError);
 }
 
+TEST(Primes, SievePrimesTable) {
+  const auto primes = sieve_primes();
+  ASSERT_EQ(primes.size(), 2048u);
+  EXPECT_EQ(primes.front(), 2u);
+  EXPECT_EQ(primes.back(), 17863u);  // the 2048th prime
+  auto rng = test_rng();
+  for (std::size_t i = 1; i < primes.size(); ++i) {
+    ASSERT_LT(primes[i - 1], primes[i]);
+  }
+  // Spot-check primality of a few entries.
+  for (std::size_t i : {0u, 1u, 100u, 1000u, 2047u}) {
+    EXPECT_TRUE(is_probable_prime(BigUint(primes[i]), rng)) << primes[i];
+  }
+}
+
+TEST(Primes, ModU64MatchesDivmod) {
+  auto rng = test_rng();
+  for (int i = 0; i < 50; ++i) {
+    const BigUint n = random_bits(rng, 2 + rng.uniform(300));
+    const std::uint64_t d = 1 + rng.uniform(0xffffffffffffull);
+    BigUint tmp = n;
+    EXPECT_EQ(mod_u64(n, d), tmp.divmod_u64(d)) << "i=" << i;
+  }
+  EXPECT_EQ(mod_u64(BigUint{}, 7), 0u);
+  EXPECT_THROW(mod_u64(BigUint(5), 0), CryptoError);
+}
+
+TEST(Primes, HasSmallPrimeFactor) {
+  // Sieve primes themselves are not flagged...
+  EXPECT_FALSE(has_small_prime_factor(BigUint(2)));
+  EXPECT_FALSE(has_small_prime_factor(BigUint(17863)));
+  // ...but their products and multiples are.
+  EXPECT_TRUE(has_small_prime_factor(BigUint(4)));
+  EXPECT_TRUE(has_small_prime_factor(BigUint(3) * BigUint(17863)));
+  // Multi-limb candidates scan the full 2048-prime sieve.
+  const BigUint wide_multiple =
+      BigUint(17863) * ((BigUint(1) << 64) + BigUint(1));
+  EXPECT_TRUE(has_small_prime_factor(wide_multiple));
+  // One-limb candidates only scan the first ~256 primes, so a composite
+  // whose smallest factor lies deeper passes through (Miller–Rabin still
+  // rejects it) — the filter may under-reject but never over-reject.
+  EXPECT_FALSE(has_small_prime_factor(BigUint(17863) * BigUint(17863)));
+  EXPECT_FALSE(is_probable_prime_fixed(BigUint(17863) * BigUint(17863)));
+  // Primes above the sieve range pass through.
+  EXPECT_FALSE(has_small_prime_factor(BigUint(17891)));   // next prime up
+  EXPECT_FALSE(has_small_prime_factor(BigUint(65537)));
+  const BigUint m127 = (BigUint(1) << 127) - BigUint(1);  // Mersenne prime
+  EXPECT_FALSE(has_small_prime_factor(m127));
+}
+
+TEST(Primes, SieveAgreesWithMillerRabinOnCompositeness) {
+  // The sieve may only ever reject true composites — never a prime.
+  auto rng = test_rng();
+  for (int i = 0; i < 200; ++i) {
+    const BigUint n = random_bits(rng, 64);
+    if (has_small_prime_factor(n)) {
+      EXPECT_FALSE(is_probable_prime_fixed(n)) << n.to_hex();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace slicer::bigint

@@ -70,5 +70,28 @@ TEST(Sha256, LeadingZeroDigestHandling) {
             "b94d27b9934d3e08a52e52d7da7dabfac484efe37a5380ee9088f7ace2efcde9");
 }
 
+TEST(Sha256, MidstateCloneMatchesFreshContext) {
+  // Copying a context captures its midstate: absorbing a common prefix
+  // once and cloning per suffix must give the same digests as hashing
+  // each full message from scratch. H_prime's counter loop depends on
+  // this, including across the 64-byte block boundary.
+  for (std::size_t prefix_len : {0u, 5u, 55u, 63u, 64u, 65u, 200u}) {
+    const Bytes prefix(prefix_len, 0xab);
+    Sha256 midstate;
+    midstate.update(prefix);
+    for (std::uint64_t counter : {0ull, 1ull, 0xdeadbeefull}) {
+      Sha256 clone = midstate;  // midstate reused across counters
+      clone.update(be64(counter));
+      const auto fast = clone.finish();
+
+      Sha256 fresh;
+      fresh.update(prefix);
+      fresh.update(be64(counter));
+      EXPECT_EQ(fast, fresh.finish())
+          << "prefix=" << prefix_len << " counter=" << counter;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace slicer::crypto
