@@ -1,0 +1,257 @@
+// Robustness soak: Byzantine-cloud detection rates, flaky-chain retry
+// behavior, crash-recovery time, and the disarmed fault-site overhead.
+// Emits BENCH_robustness.json (consumed by the robustness-soak CI job).
+//
+// The correctness guarantees (0 false accepts / 0 false rejects over 20
+// seeds, bit-identical recovery) are enforced by the unit tests; this
+// binary measures and reports the same machinery at bench scale, and exits
+// non-zero if any soak invariant is violated.
+#include <chrono>
+#include <cstdio>
+#include <span>
+
+#include "bench_common.hpp"
+#include "chain/slicer_contract.hpp"
+#include "chain/tx_submitter.hpp"
+#include "common/fault.hpp"
+#include "core/adversary.hpp"
+
+namespace {
+
+using namespace slicer;
+using namespace slicer::bench;
+
+double ms_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Taxonomy soak against a bench-scale world. Returns false on any false
+/// accept / false reject.
+bool soak_detection(BenchJson& json) {
+  const std::size_t count = static_cast<std::size_t>(200 * scale());
+  World& world = cached_world(8, count);
+  world.cloud->precompute_witnesses();  // O(1) VO per query in the soak loop
+
+  constexpr int kSeeds = 5;
+  bool ok = true;
+  std::uint64_t benign_cases = 0;
+  core::RecordId stale_id = 100'000;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const core::Tamper tamper : core::kAllTampers) {
+    std::uint64_t cases = 0, detected = 0;
+    double tamper_ms = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const auto tokens = world.user->make_tokens(
+          query_values(8, kSeeds, "soak")[static_cast<std::size_t>(seed)],
+          core::MatchCondition::kGreater);
+      core::MaliciousCloud mal(*world.cloud, tamper,
+                               static_cast<std::uint64_t>(seed));
+      if (tamper == core::Tamper::kStaleReplay) {
+        mal.record_stale(tokens);
+        std::vector<core::Record> extra = {{stale_id++, 42}};
+        world.cloud->apply(world.owner->insert(extra));
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto out = mal.search(tokens);
+      const bool accepted = core::verify_query(
+          world.acc_params, world.cloud->accumulator_value(), tokens,
+          out.replies, world.config.prime_bits);
+      tamper_ms += ms_since(t0);
+      if (!out.tampered) continue;
+      ++cases;
+      if (core::tamper_is_benign(tamper)) {
+        ++benign_cases;
+        if (accepted) ++detected;  // benign: "detected" = correctly accepted
+        else {
+          std::printf("FALSE REJECT: %s seed=%d\n",
+                      std::string(core::tamper_name(tamper)).c_str(), seed);
+          ok = false;
+        }
+      } else if (!accepted) {
+        ++detected;
+      } else {
+        std::printf("FALSE ACCEPT: %s seed=%d\n",
+                    std::string(core::tamper_name(tamper)).c_str(), seed);
+        ok = false;
+      }
+    }
+    const double rate = cases ? static_cast<double>(detected) /
+                                    static_cast<double>(cases)
+                              : 1.0;
+    std::printf("tamper %-22s cases %3llu  %s %.0f%%  (%.1f ms)\n",
+                std::string(core::tamper_name(tamper)).c_str(),
+                static_cast<unsigned long long>(cases),
+                core::tamper_is_benign(tamper) ? "accepted" : "detected",
+                rate * 100.0, tamper_ms);
+    json.add({std::string("detection/") + std::string(core::tamper_name(tamper)),
+              tamper_ms,
+              static_cast<std::int64_t>(cases),
+              {{"detection_rate", rate},
+               {"benign", core::tamper_is_benign(tamper) ? 1.0 : 0.0}}});
+  }
+  json.add({"detection/total", ms_since(start), kSeeds, {}});
+  (void)benign_cases;
+  return ok;
+}
+
+/// Full contract flows over a flaky chain; reports retry counters.
+bool soak_chain(BenchJson& json) {
+  const std::size_t count = static_cast<std::size_t>(200 * scale());
+  World& world = cached_world(8, count);
+
+  using namespace slicer::chain;
+  Blockchain bc({Address::from_label("sealer-a"),
+                 Address::from_label("sealer-b")});
+  const Address owner_addr = Address::from_label("bench-owner");
+  const Address user_addr = Address::from_label("bench-user");
+  const Address cloud_addr = Address::from_label("bench-cloud");
+  bc.credit(owner_addr, 1'000'000'000);
+  bc.credit(user_addr, 1'000'000'000);
+  bc.credit(cloud_addr, 1'000'000'000);
+
+  TxSubmitter submitter(bc, SubmitterConfig{.max_attempts = 64});
+  const Address contract_addr = bc.submit_deployment(
+      owner_addr, std::make_unique<SlicerContract>(),
+      SlicerContract::encode_ctor(world.acc_params,
+                                  world.owner->accumulator_value(),
+                                  world.config.prime_bits));
+  submitter.seal_with_retry();
+
+  ScopedFaultPlan plan(
+      "chain.mempool.drop=p:0.2;chain.mempool.duplicate=p:0.2;"
+      "chain.seal.validator_down=p:0.25;seed=1");
+
+  constexpr int kFlows = 10;
+  int completed = 0, verified = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int flow = 0; flow < kFlows; ++flow) {
+    const auto tokens = world.user->make_tokens(
+        query_values(8, kFlows, "chain-soak")[static_cast<std::size_t>(flow)],
+        core::MatchCondition::kGreater);
+    const Receipt qr = submitter.submit_and_wait(bc.make_tx(
+        user_addr, contract_addr, 10'000, encode_submit_query(tokens)));
+    if (!qr.success) continue;
+    Reader out(qr.output);
+    const std::uint64_t query_id = out.u64();
+    const auto replies = world.cloud->search(tokens);
+    const auto proven =
+        attach_counters(tokens, replies, world.config.prime_bits);
+    const Receipt rr = submitter.submit_and_wait(
+        bc.make_tx(cloud_addr, contract_addr, 0,
+                   encode_submit_result(query_id, tokens, proven)));
+    if (!rr.success) continue;
+    ++completed;
+    Reader vr(rr.output);
+    if (vr.u8() == 1) ++verified;
+  }
+  const double total_ms = ms_since(start);
+
+  const SubmitterStats& st = submitter.stats();
+  std::printf(
+      "chain soak: %d/%d flows, %d verified | submits %llu resubmits %llu "
+      "seal attempts %llu failures %llu backoff %llu ms (virtual)\n",
+      completed, kFlows, verified, static_cast<unsigned long long>(st.submits),
+      static_cast<unsigned long long>(st.resubmits),
+      static_cast<unsigned long long>(st.seal_attempts),
+      static_cast<unsigned long long>(st.seal_failures),
+      static_cast<unsigned long long>(st.backoff_ms));
+  json.add({"chain/flows",
+            total_ms,
+            kFlows,
+            {{"completed", static_cast<double>(completed)},
+             {"verified", static_cast<double>(verified)},
+             {"submits", static_cast<double>(st.submits)},
+             {"resubmits", static_cast<double>(st.resubmits)},
+             {"seal_failures", static_cast<double>(st.seal_failures)},
+             {"backoff_virtual_ms", static_cast<double>(st.backoff_ms)}}});
+  return completed == kFlows && verified == kFlows && bc.verify_chain();
+}
+
+/// Crash mid-insert, restore from snapshot, redo — reports recovery time
+/// and checks the resumed accumulator is bit-identical.
+bool soak_recovery(BenchJson& json) {
+  const std::size_t count = static_cast<std::size_t>(200 * scale());
+  const auto records = gen_records(8, count, /*id_base=*/200'000, "recovery");
+  const std::size_t split = count * 3 / 4;
+  const std::span<const core::Record> batch1(records.data(), split);
+  const std::span<const core::Record> batch2(records.data() + split,
+                                             count - split);
+
+  // Reference: two batches straight through.
+  auto steady = make_world(8, 0, /*ingest=*/false);
+  steady->cloud->apply(steady->owner->insert(batch1));
+  steady->cloud->apply(steady->owner->insert(batch2));
+
+  // Crashing run (same deterministic identity).
+  auto crashing = make_world(8, 0, /*ingest=*/false);
+  crashing->cloud->apply(crashing->owner->insert(batch1));
+  const Bytes owner_snap = crashing->owner->serialize_state();
+  const Bytes cloud_snap = crashing->cloud->serialize_state();
+  bool crashed = false;
+  {
+    ScopedFaultPlan plan("core.owner.ingest.worker=nth:1");
+    try {
+      crashing->owner->insert(batch2);
+    } catch (const FaultError&) {
+      crashed = true;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  auto resumed = make_world(8, 0, /*ingest=*/false);
+  resumed->owner->restore_state(owner_snap);
+  resumed->cloud->restore_state(cloud_snap);
+  const double restore_ms = ms_since(start);
+  resumed->cloud->apply(resumed->owner->insert(batch2));
+  const double recovery_ms = ms_since(start);
+
+  const bool identical =
+      resumed->owner->accumulator_value() ==
+          steady->owner->accumulator_value() &&
+      resumed->cloud->serialize_state() == steady->cloud->serialize_state();
+  std::printf("recovery: restore %.2f ms, restore+redo %.2f ms, "
+              "bit-identical %s\n",
+              restore_ms, recovery_ms, identical ? "yes" : "NO");
+  json.add({"recovery/restore", restore_ms, 1, {}});
+  json.add({"recovery/total",
+            recovery_ms,
+            1,
+            {{"bit_identical", identical ? 1.0 : 0.0},
+             {"snapshot_bytes", static_cast<double>(owner_snap.size() +
+                                                    cloud_snap.size())}}});
+  return crashed && identical;
+}
+
+/// Cost of a disarmed fault site — must be noise (one relaxed atomic load).
+void bench_disarmed_overhead(BenchJson& json) {
+  FaultInjector::instance().clear();
+  constexpr int kIters = 2'000'000;
+  volatile bool sink = false;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) sink = fault_point("bench.disarmed.site");
+  const double total_ms = ms_since(start);
+  const double ns_per_call = total_ms * 1e6 / kIters;
+  std::printf("disarmed fault_point: %.2f ns/call\n", ns_per_call);
+  json.add({"overhead/disarmed_fault_point",
+            total_ms,
+            kIters,
+            {{"ns_per_call", ns_per_call}}});
+  (void)sink;
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("robustness");
+  bool ok = true;
+  ok &= soak_detection(json);
+  ok &= soak_chain(json);
+  ok &= soak_recovery(json);
+  bench_disarmed_overhead(json);
+  json.write();
+  std::printf("robustness soak: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -46,7 +46,9 @@ void print_result(const char* what, const core::QueryResult& r) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+// Function-try so an injected fault (SLICER_FAULTS) or decode error exits
+// with a message instead of std::terminate.
+int main(int argc, char** argv) try {
   std::size_t bits = 16;
   std::size_t n_records = 1000;
   int argi = 1;
@@ -130,4 +132,7 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "slicer_cli: error: %s\n", e.what());
+  return 1;
 }

@@ -1,6 +1,7 @@
 #include "chain/blockchain.hpp"
 
 #include "common/errors.hpp"
+#include "common/fault.hpp"
 #include "common/serial.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
@@ -40,11 +41,13 @@ std::uint64_t& Blockchain::balance_ref(const Address& account) {
 }
 
 Transaction Blockchain::make_tx(const Address& from, const Address& to,
-                                std::uint64_t value, Bytes data) {
+                                std::uint64_t value, Bytes data,
+                                std::uint64_t gas_limit) {
   Transaction tx;
   tx.from = from;
   tx.to = to;
   tx.value = value;
+  tx.gas_limit = gas_limit;
   tx.data = std::move(data);
   tx.nonce = nonces_[from]++;
   return tx;
@@ -52,6 +55,8 @@ Transaction Blockchain::make_tx(const Address& from, const Address& to,
 
 Bytes Blockchain::submit(Transaction tx) {
   Bytes hash = tx.hash();
+  if (fault_point("chain.mempool.drop")) return hash;
+  if (fault_point("chain.mempool.duplicate")) mempool_.push_back(tx);
   mempool_.push_back(std::move(tx));
   return hash;
 }
@@ -76,6 +81,11 @@ Address Blockchain::submit_deployment(const Address& from,
 }
 
 void Blockchain::execute_deployment(PendingDeployment& dep, Receipt& receipt) {
+  if (!executed_nonces_[dep.from].insert(dep.nonce).second) {
+    receipt.success = false;
+    receipt.revert_reason = "stale nonce (duplicate delivery)";
+    return;
+  }
   GasMeter gas(schedule_);
   gas.charge(schedule_.tx_base, "tx_base");
   gas.charge(calldata_gas(schedule_, dep.ctor_data), "calldata");
@@ -101,38 +111,54 @@ void Blockchain::execute_deployment(PendingDeployment& dep, Receipt& receipt) {
 }
 
 void Blockchain::execute_call(const Transaction& tx, Receipt& receipt) {
-  GasMeter gas(schedule_);
-  gas.charge(schedule_.tx_base, "tx_base");
-  gas.charge(calldata_gas(schedule_, tx.data), "calldata");
-
-  std::uint64_t& sender = balance_ref(tx.from);
-  const auto contract_it = contracts_.find(tx.to);
-
-  if (sender < tx.value) {
+  // Duplicate delivery (faulty mempool, retrying client) executes only once:
+  // the nonce is consumed by the first execution, replays fail for free.
+  if (!executed_nonces_[tx.from].insert(tx.nonce).second) {
     receipt.success = false;
-    receipt.revert_reason = "insufficient balance for value transfer";
-  } else if (contract_it == contracts_.end()) {
-    // Plain value transfer.
-    sender -= tx.value;
-    balance_ref(tx.to) += tx.value;
-    receipt.success = true;
-  } else {
-    // Contract call. Snapshot balances so a revert rolls back every
-    // transfer the contract performed (EVM state-revert semantics).
-    const auto snapshot = balances_;
-    sender -= tx.value;
-    balance_ref(tx.to) += tx.value;
-    std::vector<std::string> logs;
-    Contract::CallContext ctx{tx.from, tx.to, tx.value, blocks_.size(), &gas, this, &logs};
-    try {
+    receipt.revert_reason = "stale nonce (duplicate delivery)";
+    return;
+  }
+
+  GasMeter gas(schedule_, tx.gas_limit);
+  // Snapshot balances so both ContractRevert and OutOfGas roll back every
+  // transfer — including the attached value (EVM state-revert semantics).
+  const auto snapshot = balances_;
+  try {
+    gas.charge(schedule_.tx_base, "tx_base");
+    gas.charge(calldata_gas(schedule_, tx.data), "calldata");
+
+    std::uint64_t& sender = balance_ref(tx.from);
+    const auto contract_it = contracts_.find(tx.to);
+
+    if (sender < tx.value) {
+      receipt.success = false;
+      receipt.revert_reason = "insufficient balance for value transfer";
+    } else if (contract_it == contracts_.end()) {
+      // Plain value transfer.
+      sender -= tx.value;
+      balance_ref(tx.to) += tx.value;
+      receipt.success = true;
+    } else {
+      sender -= tx.value;
+      balance_ref(tx.to) += tx.value;
+      std::vector<std::string> logs;
+      Contract::CallContext ctx{tx.from,        tx.to, tx.value,
+                                blocks_.size(), &gas,  this,
+                                &logs};
       receipt.output = contract_it->second->call(ctx, tx.data);
       receipt.success = true;
       receipt.logs = std::move(logs);
-    } catch (const ContractRevert& revert) {
-      balances_ = snapshot;
-      receipt.success = false;
-      receipt.revert_reason = revert.what();
     }
+  } catch (const ContractRevert& revert) {
+    balances_ = snapshot;
+    receipt.success = false;
+    receipt.revert_reason = revert.what();
+  } catch (const OutOfGas& oog) {
+    // All gas is consumed (the meter capped used() at the limit), but the
+    // attached value went back with the snapshot restore above.
+    balances_ = snapshot;
+    receipt.success = false;
+    receipt.revert_reason = oog.what();
   }
 
   receipt.gas_used = gas.used();
@@ -142,6 +168,10 @@ void Blockchain::execute_call(const Transaction& tx, Receipt& receipt) {
 }
 
 const Block& Blockchain::seal_block() {
+  // Validator outage: nothing executed, mempool and pending deployments
+  // stay queued for the next (successful) seal attempt.
+  if (fault_point("chain.seal.validator_down")) throw ValidatorUnavailable();
+
   Block block;
   block.number = blocks_.size();
   block.parent_hash =

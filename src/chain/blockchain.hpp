@@ -10,12 +10,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "chain/block.hpp"
 #include "chain/gas.hpp"
 #include "chain/tx.hpp"
+#include "common/errors.hpp"
 
 namespace slicer::chain {
 
@@ -27,6 +29,14 @@ class ContractRevert : public std::runtime_error {
  public:
   explicit ContractRevert(const std::string& reason)
       : std::runtime_error(reason) {}
+};
+
+/// Thrown by seal_block when the rotation's validator is down (injected via
+/// the `chain.seal.validator_down` fault site). The mempool is left intact;
+/// a later seal attempt picks the pending transactions up again.
+class ValidatorUnavailable : public Error {
+ public:
+  ValidatorUnavailable() : Error("validator unavailable: block not sealed") {}
 };
 
 /// Interface of an on-chain program.
@@ -70,11 +80,19 @@ class Blockchain {
   std::uint64_t nonce(const Address& account) const;
 
   // --- transactions ---
-  /// Fills in the sender's next nonce.
+  /// Fills in the sender's next nonce. `gas_limit` 0 = unlimited (the
+  /// simulation default); a non-zero limit makes execution fail with
+  /// "out of gas" once the meter crosses it.
   Transaction make_tx(const Address& from, const Address& to,
-                      std::uint64_t value, Bytes data = {});
+                      std::uint64_t value, Bytes data = {},
+                      std::uint64_t gas_limit = 0);
 
-  /// Queues a transaction; returns its hash.
+  /// Queues a transaction; returns its hash. Fault sites: a
+  /// `chain.mempool.drop` firing silently discards the transaction (the
+  /// hash is still returned — the caller cannot tell until no receipt
+  /// appears); `chain.mempool.duplicate` enqueues it twice. Re-execution
+  /// of a duplicate is rejected by the per-account nonce tracking, so
+  /// resubmitting an identical transaction is always safe (idempotent).
   Bytes submit(Transaction tx);
 
   /// Queues a contract deployment; returns the future contract address.
@@ -83,7 +101,9 @@ class Blockchain {
                             Bytes ctor_data);
 
   /// Seals the next block with the rotation's current validator: executes
-  /// every pending transaction, charges gas, appends to the chain.
+  /// every pending transaction, charges gas, appends to the chain. Throws
+  /// ValidatorUnavailable (mempool untouched) when the
+  /// `chain.seal.validator_down` fault site fires.
   const Block& seal_block();
 
   /// Balance movement initiated by an executing contract (payout/refund).
@@ -122,6 +142,12 @@ class Blockchain {
   std::map<Address, Bytes> validator_keys_;  // seal "signing" keys
   std::map<Address, std::uint64_t> balances_;
   std::map<Address, std::uint64_t> nonces_;
+  /// Nonces each account has already *executed* — duplicates delivered by a
+  /// faulty mempool (or resubmitted by a retrying client) are rejected here
+  /// instead of double-spending. A set (not a high-water mark) because
+  /// deployments execute before calls within a block regardless of
+  /// submission order.
+  std::map<Address, std::set<std::uint64_t>> executed_nonces_;
   std::map<Address, std::unique_ptr<Contract>> contracts_;
 
   std::vector<Transaction> mempool_;

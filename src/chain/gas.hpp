@@ -12,8 +12,18 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/errors.hpp"
 
 namespace slicer::chain {
+
+/// Thrown by the meter when a charge exceeds the transaction's gas limit.
+/// The chain treats it like EVM out-of-gas: state reverts, the attached
+/// value returns to the sender, and the full limit is consumed.
+class OutOfGas : public Error {
+ public:
+  explicit OutOfGas(const std::string& category)
+      : Error("out of gas (while charging " + category + ")") {}
+};
 
 /// Gas cost constants.
 struct GasSchedule {
@@ -46,24 +56,33 @@ std::uint64_t modexp_gas(const GasSchedule& s, std::size_t base_len,
                          std::size_t exp_bits, std::size_t mod_len);
 
 /// Running gas counter for one transaction, with a per-category breakdown
-/// for the gas-accounting benchmarks.
+/// for the gas-accounting benchmarks. A non-zero `limit` makes the meter
+/// throw OutOfGas on the charge that would exceed it (used() is then capped
+/// at the limit — all gas is consumed, as on a real chain).
 class GasMeter {
  public:
-  explicit GasMeter(const GasSchedule& schedule) : schedule_(schedule) {}
+  explicit GasMeter(const GasSchedule& schedule, std::uint64_t limit = 0)
+      : schedule_(schedule), limit_(limit) {}
 
   void charge(std::uint64_t amount, const std::string& category) {
     used_ += amount;
     breakdown_[category] += amount;
+    if (limit_ != 0 && used_ > limit_) {
+      used_ = limit_;
+      throw OutOfGas(category);
+    }
   }
 
   const GasSchedule& schedule() const { return schedule_; }
   std::uint64_t used() const { return used_; }
+  std::uint64_t limit() const { return limit_; }
   const std::map<std::string, std::uint64_t>& breakdown() const {
     return breakdown_;
   }
 
  private:
   const GasSchedule& schedule_;
+  std::uint64_t limit_ = 0;  // 0 = unlimited (simulation default)
   std::uint64_t used_ = 0;
   std::map<std::string, std::uint64_t> breakdown_;
 };

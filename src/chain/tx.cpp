@@ -22,6 +22,7 @@ Bytes Transaction::serialize() const {
   w.raw(BytesView(to.bytes.data(), to.bytes.size()));
   w.u64(value);
   w.u64(nonce);
+  w.u64(gas_limit);
   w.bytes(data);
   return std::move(w).take();
 }

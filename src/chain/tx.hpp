@@ -32,6 +32,7 @@ struct Transaction {
   Address to;           // zero address = contract creation
   std::uint64_t value = 0;
   std::uint64_t nonce = 0;
+  std::uint64_t gas_limit = 0;  // 0 = unlimited (simulation default)
   Bytes data;           // calldata (method selector + arguments)
 
   Bytes serialize() const;

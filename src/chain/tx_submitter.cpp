@@ -1,0 +1,55 @@
+#include "chain/tx_submitter.hpp"
+
+namespace slicer::chain {
+
+std::uint64_t TxSubmitter::backoff_for(int attempt) const {
+  std::uint64_t delay = cfg_.base_backoff_ms;
+  for (int i = 0; i < attempt && delay < cfg_.max_backoff_ms; ++i) delay <<= 1;
+  return delay < cfg_.max_backoff_ms ? delay : cfg_.max_backoff_ms;
+}
+
+Receipt TxSubmitter::submit_and_wait(const Transaction& tx) {
+  const Bytes hash = tx.hash();
+  chain_.submit(tx);
+  ++stats_.submits;
+
+  for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    ++stats_.seal_attempts;
+    try {
+      chain_.seal_block();
+    } catch (const ValidatorUnavailable&) {
+      // Outage: the mempool is untouched, so the transaction (if it made it
+      // in) is still queued. Back off and try the next validator rotation.
+      ++stats_.seal_failures;
+      stats_.backoff_ms += backoff_for(attempt);
+      continue;
+    }
+    // receipt_of returns the FIRST receipt for the hash. Blocks execute in
+    // FIFO order, so when a duplicate delivery produced both a genuine and
+    // a "stale nonce" receipt, the genuine one wins here.
+    if (auto receipt = chain_.receipt_of(hash)) return *receipt;
+    // Sealed a block but no receipt: the submission was dropped before it
+    // reached the mempool. Resubmit — idempotent thanks to the chain's
+    // nonce tracking even if the original eventually surfaces.
+    stats_.backoff_ms += backoff_for(attempt);
+    chain_.submit(tx);
+    ++stats_.submits;
+    ++stats_.resubmits;
+  }
+  throw SubmitTimeout(cfg_.max_attempts);
+}
+
+const Block& TxSubmitter::seal_with_retry() {
+  for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    ++stats_.seal_attempts;
+    try {
+      return chain_.seal_block();
+    } catch (const ValidatorUnavailable&) {
+      ++stats_.seal_failures;
+      stats_.backoff_ms += backoff_for(attempt);
+    }
+  }
+  throw SubmitTimeout(cfg_.max_attempts);
+}
+
+}  // namespace slicer::chain

@@ -1,0 +1,74 @@
+// Reliable transaction submission over a flaky chain.
+//
+// The mempool can silently drop a transaction (`chain.mempool.drop`), the
+// rotation's validator can be down at seal time (ValidatorUnavailable), and
+// a faulty relay can deliver a transaction twice (`chain.mempool.duplicate`).
+// TxSubmitter turns that into an at-most-once execution guarantee visible to
+// the caller: it retries with capped exponential backoff until a receipt for
+// the transaction hash exists, and gives up with SubmitTimeout after a
+// bounded number of attempts. Resubmission is always safe because the chain
+// consumes each (account, nonce) pair exactly once — a replayed duplicate
+// earns a failed "stale nonce" receipt and moves no money.
+//
+// Backoff is virtual time: the simulation has no wall clock, so the waits a
+// real client would sleep are accumulated in stats().backoff_ms for the
+// robustness benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/blockchain.hpp"
+
+namespace slicer::chain {
+
+/// Thrown when a transaction still has no receipt after max_attempts rounds.
+class SubmitTimeout : public Error {
+ public:
+  explicit SubmitTimeout(int attempts)
+      : Error("transaction not sealed after " + std::to_string(attempts) +
+              " attempts") {}
+};
+
+struct SubmitterConfig {
+  int max_attempts = 8;               ///< seal rounds before SubmitTimeout
+  std::uint64_t base_backoff_ms = 10; ///< first retry delay (virtual ms)
+  std::uint64_t max_backoff_ms = 1000;///< exponential backoff cap
+};
+
+/// Counters for the robustness soak (BENCH_robustness.json).
+struct SubmitterStats {
+  std::uint64_t submits = 0;        ///< submit() calls issued to the chain
+  std::uint64_t resubmits = 0;      ///< retries after a missing receipt
+  std::uint64_t seal_attempts = 0;
+  std::uint64_t seal_failures = 0;  ///< ValidatorUnavailable caught
+  std::uint64_t backoff_ms = 0;     ///< total virtual backoff accumulated
+};
+
+class TxSubmitter {
+ public:
+  explicit TxSubmitter(Blockchain& chain, SubmitterConfig cfg = {})
+      : chain_(chain), cfg_(cfg) {}
+
+  /// Submits `tx` and seals blocks until its receipt exists, retrying
+  /// dropped submissions and validator outages. Returns the first (genuine)
+  /// receipt. Throws SubmitTimeout after cfg.max_attempts seal rounds.
+  Receipt submit_and_wait(const Transaction& tx);
+
+  /// Seals one block, retrying validator outages with backoff. Used to
+  /// flush pending deployments. Throws SubmitTimeout if every attempt
+  /// fails.
+  const Block& seal_with_retry();
+
+  const SubmitterStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  /// min(base << attempt, max) — capped exponential backoff.
+  std::uint64_t backoff_for(int attempt) const;
+
+  Blockchain& chain_;
+  SubmitterConfig cfg_;
+  SubmitterStats stats_;
+};
+
+}  // namespace slicer::chain

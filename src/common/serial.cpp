@@ -69,6 +69,14 @@ Bytes Reader::raw(std::size_t n) {
   return Bytes(b.begin(), b.end());
 }
 
+std::uint32_t Reader::count(std::size_t min_element_bytes) {
+  const std::uint32_t n = u32();
+  if (min_element_bytes == 0) min_element_bytes = 1;
+  if (n > remaining() / min_element_bytes)
+    throw DecodeError("element count exceeds payload");
+  return n;
+}
+
 void Reader::expect_end() const {
   if (!empty()) throw DecodeError("trailing bytes after message");
 }

@@ -50,6 +50,13 @@ class Reader {
   /// Reads exactly `n` raw bytes.
   Bytes raw(std::size_t n);
 
+  /// Reads a u32 element count and validates it against the remaining
+  /// payload: every element must occupy at least `min_element_bytes`, so a
+  /// forged count cannot exceed remaining()/min_element_bytes. Use this for
+  /// every length-prefixed collection — it turns "attacker picks the
+  /// reserve() size" into DecodeError before any allocation happens.
+  std::uint32_t count(std::size_t min_element_bytes);
+
   bool empty() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
   /// Throws DecodeError unless the whole buffer was consumed.

@@ -1,0 +1,189 @@
+#include "core/adversary.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace slicer::core {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Indices of replies that have at least `min_results` encrypted results.
+std::vector<std::size_t> candidates(const std::vector<TokenReply>& replies,
+                                    std::size_t min_results) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < replies.size(); ++i)
+    if (replies[i].encrypted_results.size() >= min_results) out.push_back(i);
+  return out;
+}
+
+}  // namespace
+
+std::string_view tamper_name(Tamper t) {
+  switch (t) {
+    case Tamper::kNone: return "none";
+    case Tamper::kDropResult: return "drop_result";
+    case Tamper::kDuplicateResult: return "duplicate_result";
+    case Tamper::kReorderResults: return "reorder_results";
+    case Tamper::kForgeCiphertext: return "forge_ciphertext";
+    case Tamper::kTruncateCiphertext: return "truncate_ciphertext";
+    case Tamper::kInjectResult: return "inject_result";
+    case Tamper::kEmptyClaim: return "empty_claim";
+    case Tamper::kSwapWitnesses: return "swap_witnesses";
+    case Tamper::kForgeWitness: return "forge_witness";
+    case Tamper::kStaleReplay: return "stale_replay";
+    case Tamper::kWrongAccumulator: return "wrong_accumulator";
+  }
+  return "unknown";
+}
+
+std::uint64_t MaliciousCloud::rand(std::uint64_t bound) const {
+  // Deterministic stream keyed by (seed, draw#); bound is small (indices,
+  // byte offsets), so the modulo bias is irrelevant here.
+  const std::uint64_t v = splitmix64(seed_ ^ splitmix64(++draws_));
+  return bound == 0 ? v : v % bound;
+}
+
+void MaliciousCloud::record_stale(std::span<const SearchToken> tokens) {
+  stale_ = honest_.search(tokens);
+}
+
+MaliciousCloud::Output MaliciousCloud::search(
+    std::span<const SearchToken> tokens) const {
+  Output out;
+  out.replies = honest_.search(tokens);
+  std::vector<TokenReply>& replies = out.replies;
+  if (replies.empty()) return out;
+
+  switch (tamper_) {
+    case Tamper::kNone:
+      break;
+
+    case Tamper::kDropResult: {
+      const auto c = candidates(replies, 1);
+      if (c.empty()) break;
+      auto& er = replies[c[rand(c.size())]].encrypted_results;
+      er.erase(er.begin() + static_cast<std::ptrdiff_t>(rand(er.size())));
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kDuplicateResult: {
+      const auto c = candidates(replies, 1);
+      if (c.empty()) break;
+      auto& er = replies[c[rand(c.size())]].encrypted_results;
+      er.push_back(er[rand(er.size())]);
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kReorderResults: {
+      const auto c = candidates(replies, 2);
+      if (c.empty()) break;
+      auto& er = replies[c[rand(c.size())]].encrypted_results;
+      std::rotate(er.begin(), er.begin() + 1 + static_cast<std::ptrdiff_t>(
+                                                  rand(er.size() - 1)),
+                  er.end());
+      out.tampered = true;  // tampered, but benign: must still verify
+      break;
+    }
+
+    case Tamper::kForgeCiphertext: {
+      const auto c = candidates(replies, 1);
+      if (c.empty()) break;
+      auto& er = replies[c[rand(c.size())]].encrypted_results;
+      Bytes& victim = er[rand(er.size())];
+      if (victim.empty()) break;
+      victim[rand(victim.size())] ^= static_cast<std::uint8_t>(
+          1 + rand(255));  // non-zero mask: guaranteed to change the byte
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kTruncateCiphertext: {
+      const auto c = candidates(replies, 1);
+      if (c.empty()) break;
+      auto& er = replies[c[rand(c.size())]].encrypted_results;
+      Bytes& victim = er[rand(er.size())];
+      if (victim.empty()) break;
+      victim.pop_back();
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kInjectResult: {
+      // Bites even on empty result lists — a fabricated 16-byte record.
+      Bytes fake(16);
+      for (auto& b : fake) b = static_cast<std::uint8_t>(rand(256));
+      replies[rand(replies.size())].encrypted_results.push_back(
+          std::move(fake));
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kEmptyClaim: {
+      const auto c = candidates(replies, 1);
+      if (c.empty()) break;
+      replies[c[rand(c.size())]].encrypted_results.clear();
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kSwapWitnesses: {
+      if (replies.size() < 2) break;
+      const std::size_t i = rand(replies.size());
+      std::size_t k = rand(replies.size() - 1);
+      if (k >= i) ++k;
+      if (replies[i].witness == replies[k].witness) break;  // no-op swap
+      std::swap(replies[i].witness, replies[k].witness);
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kForgeWitness: {
+      bigint::BigUint& w = replies[rand(replies.size())].witness;
+      w = bigint::BigUint::add_mod(w, bigint::BigUint(1),
+                                   honest_.accumulator_params().modulus);
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kStaleReplay: {
+      if (stale_.size() != replies.size()) break;  // record_stale not run
+      bool differs = false;
+      for (std::size_t i = 0; i < replies.size(); ++i)
+        if (!(stale_[i].witness == replies[i].witness) ||
+            stale_[i].encrypted_results != replies[i].encrypted_results)
+          differs = true;
+      if (!differs) break;  // nothing changed since the recording: not stale
+      replies = stale_;
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kWrongAccumulator: {
+      // The "lazy cloud": presents the accumulator value itself as the
+      // witness — i.e. a witness computed against the wrong (trivial)
+      // accumulator. Verification needs witness^p == ac, so this only
+      // passes if ac^p == ac (never, for a non-degenerate modulus).
+      bigint::BigUint& w = replies[rand(replies.size())].witness;
+      const bigint::BigUint& ac = honest_.accumulator_value();
+      w = (w == ac) ? bigint::BigUint::add_mod(
+                          ac, bigint::BigUint(1),
+                          honest_.accumulator_params().modulus)
+                    : ac;
+      out.tampered = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace slicer::core

@@ -3,6 +3,7 @@
 #include "adscrypto/hash_to_prime.hpp"
 #include "adscrypto/multiset_hash.hpp"
 #include "common/errors.hpp"
+#include "common/fault.hpp"
 #include "common/thread_pool.hpp"
 
 namespace slicer::core {
@@ -84,6 +85,7 @@ std::vector<TokenReply> CloudServer::search(
   // replies in submission order.
   return ThreadPool::instance().parallel_map<TokenReply>(
       tokens.size(), [&](std::size_t i) {
+        fault_point_throw("core.cloud.search.worker");
         return prove(tokens[i], fetch_results(tokens[i]));
       });
 }

@@ -37,13 +37,17 @@ Bytes TokenReply::serialize() const {
 TokenReply TokenReply::deserialize(BytesView data) {
   Reader r(data);
   TokenReply out;
-  const std::uint32_t n = r.u32();
   // Never trust a length prefix for allocation: each element needs at least
   // its own 4-byte length, so n is bounded by the remaining payload.
-  if (n > r.remaining() / 4) throw DecodeError("reply count exceeds payload");
+  const std::uint32_t n = r.count(4);
   out.encrypted_results.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.encrypted_results.push_back(r.bytes());
-  out.witness = bigint::BigUint::from_bytes_be(r.bytes());
+  const Bytes witness_raw = r.bytes();
+  // Reject non-minimal encodings so a decoded reply re-serializes
+  // byte-identically (canonical form — the codec fuzz test's invariant).
+  if (!witness_raw.empty() && witness_raw.front() == 0)
+    throw DecodeError("non-minimal witness encoding");
+  out.witness = bigint::BigUint::from_bytes_be(witness_raw);
   r.expect_end();
   return out;
 }

@@ -4,6 +4,7 @@
 
 #include "adscrypto/hash_to_prime.hpp"
 #include "common/errors.hpp"
+#include "common/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/prf.hpp"
 #include "sore/sore.hpp"
@@ -171,6 +172,9 @@ UpdateOutput DataOwner::ingest(
   // and pads, and the per-keyword multiset-hash fold — all pure functions
   // of the job's inputs, written to per-keyword slots.
   pool.parallel_for(jobs.size(), [&](std::size_t ji) {
+    // Crash/fault injection inside the worker: proves the pool propagates
+    // the first exception and that snapshot-restore recovers the owner.
+    fault_point_throw("core.owner.ingest.worker");
     KeywordJob& job = jobs[ji];
     job.entries.reserve(job.ids->size());
     std::uint64_t c = 0;

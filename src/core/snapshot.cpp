@@ -13,7 +13,10 @@ namespace {
 constexpr std::uint8_t kOwnerTag = 0xA1;
 constexpr std::uint8_t kCloudTag = 0xA2;
 constexpr std::uint8_t kUserTag = 0xA3;
-constexpr std::uint8_t kVersion = 1;
+// Version 2: the owner snapshot carries the DRBG state, so a resumed owner
+// draws the exact trapdoors the crashed process would have drawn — the
+// property the crash-recovery tests assert (bit-identical accumulator).
+constexpr std::uint8_t kVersion = 2;
 
 void write_header(Writer& w, std::uint8_t tag) {
   w.str("slicer.snapshot");
@@ -41,6 +44,18 @@ Config read_config(Reader& r) {
   return c;
 }
 
+// Decoding is strict about canonical form: integers must be minimally
+// encoded and map keys strictly increasing (the writers emit exactly that).
+// A snapshot that decodes successfully therefore re-encodes byte-identical
+// — the property the codec fuzz test asserts, and what makes snapshot
+// hashes meaningful as state fingerprints.
+bigint::BigUint read_biguint(Reader& r) {
+  const Bytes raw = r.bytes();
+  if (!raw.empty() && raw.front() == 0)
+    throw DecodeError("non-minimal big-integer encoding");
+  return bigint::BigUint::from_bytes_be(raw);
+}
+
 void write_trapdoor_states(
     Writer& w, const std::map<std::string, TrapdoorState>& states) {
   w.u32(static_cast<std::uint32_t>(states.size()));
@@ -53,13 +68,16 @@ void write_trapdoor_states(
 
 std::map<std::string, TrapdoorState> read_trapdoor_states(Reader& r) {
   std::map<std::string, TrapdoorState> out;
-  const std::uint32_t n = r.u32();
+  // Each entry is at least two length prefixes plus the u32 generation.
+  const std::uint32_t n = r.count(12);
   for (std::uint32_t i = 0; i < n; ++i) {
-    const std::string keyword = r.str();
+    std::string keyword = r.str();
+    if (!out.empty() && keyword <= out.rbegin()->first)
+      throw DecodeError("trapdoor states not in canonical order");
     TrapdoorState state;
-    state.trapdoor = bigint::BigUint::from_bytes_be(r.bytes());
+    state.trapdoor = read_biguint(r);
     state.j = r.u32();
-    out.emplace(keyword, std::move(state));
+    out.emplace(std::move(keyword), std::move(state));
   }
   return out;
 }
@@ -112,6 +130,7 @@ Bytes DataOwner::serialize_state() const {
   for (const RecordId id : ids) w.u64(id);
 
   w.bytes(ac_.to_bytes_be());
+  w.bytes(rng_.export_state());
   return std::move(w).take();
 }
 
@@ -128,23 +147,31 @@ void DataOwner::restore_state(BytesView snapshot) {
 
   trapdoor_states_ = read_trapdoor_states(r);
 
-  const std::uint32_t n_hashes = r.u32();
+  const std::uint32_t n_hashes = r.count(36);  // length prefix + 32-byte digest
   for (std::uint32_t i = 0; i < n_hashes; ++i) {
     const std::string key = r.str();
+    if (!set_hashes_.empty() && key <= set_hashes_.rbegin()->first)
+      throw DecodeError("set-hash states not in canonical order");
     set_hashes_[key] = adscrypto::MultisetHash::deserialize(r.raw(32));
   }
 
-  const std::uint32_t n_primes = r.u32();
-  if (n_primes > r.remaining() / 4)
-    throw DecodeError("prime count exceeds payload");
+  const std::uint32_t n_primes = r.count(4);
   primes_.reserve(n_primes);
   for (std::uint32_t i = 0; i < n_primes; ++i)
-    primes_.push_back(bigint::BigUint::from_bytes_be(r.bytes()));
+    primes_.push_back(read_biguint(r));
 
-  const std::uint32_t n_ids = r.u32();
-  for (std::uint32_t i = 0; i < n_ids; ++i) used_ids_.insert(r.u64());
+  const std::uint32_t n_ids = r.count(8);
+  RecordId prev_id = 0;
+  for (std::uint32_t i = 0; i < n_ids; ++i) {
+    const RecordId id = r.u64();
+    if (i > 0 && id <= prev_id)
+      throw DecodeError("record ids not in canonical order");
+    used_ids_.insert(id);
+    prev_id = id;
+  }
 
-  ac_ = bigint::BigUint::from_bytes_be(r.bytes());
+  ac_ = read_biguint(r);
+  rng_ = crypto::Drbg::import_state(r.bytes());
   r.expect_end();
 }
 
@@ -168,19 +195,23 @@ void CloudServer::restore_state(BytesView snapshot) {
     throw ProtocolError("restore_state on a non-empty cloud");
   Reader r(snapshot);
   read_header(r, kCloudTag);
-  const std::uint32_t n_entries = r.u32();
+  const std::uint32_t n_entries = r.count(8);  // two length prefixes
+  Bytes prev_l;
   for (std::uint32_t i = 0; i < n_entries; ++i) {
-    const Bytes l = r.bytes();
+    Bytes l = r.bytes();
+    if (i > 0 && l <= prev_l)
+      throw DecodeError("index entries not in canonical order");
     const Bytes d = r.bytes();
     index_.put(l, d);
+    prev_l = std::move(l);
   }
-  const std::uint32_t n_primes = r.u32();
+  const std::uint32_t n_primes = r.count(4);
   for (std::uint32_t i = 0; i < n_primes; ++i) {
-    bigint::BigUint x = bigint::BigUint::from_bytes_be(r.bytes());
+    bigint::BigUint x = read_biguint(r);
     prime_pos_[x.to_hex()] = primes_.size();
     primes_.push_back(std::move(x));
   }
-  ac_ = bigint::BigUint::from_bytes_be(r.bytes());
+  ac_ = read_biguint(r);
   r.expect_end();
 }
 

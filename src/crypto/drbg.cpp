@@ -65,4 +65,18 @@ std::uint64_t Drbg::uniform(std::uint64_t bound) {
 
 void Drbg::reseed(BytesView data) { update(data); }
 
+Bytes Drbg::export_state() const {
+  Bytes out = key_;
+  append(out, v_);
+  return out;
+}
+
+Drbg Drbg::import_state(BytesView state) {
+  if (state.size() != 64) throw CryptoError("Drbg state must be 64 bytes");
+  Drbg out;
+  out.key_ = Bytes(state.begin(), state.begin() + 32);
+  out.v_ = Bytes(state.begin() + 32, state.end());
+  return out;
+}
+
 }  // namespace slicer::crypto

@@ -32,6 +32,15 @@ class Drbg {
   /// Mixes additional entropy / domain-separation data into the state.
   void reseed(BytesView data);
 
+  /// Exports the full generator state (K ‖ V, 64 bytes) so a snapshotted
+  /// process can resume its exact random stream. The state is as secret as
+  /// the keys it generates — treat snapshots accordingly.
+  Bytes export_state() const;
+
+  /// Reconstructs a generator from export_state output. Throws CryptoError
+  /// on a malformed state blob.
+  static Drbg import_state(BytesView state);
+
   /// Fisher-Yates shuffle of a random-access container.
   template <typename Container>
   void shuffle(Container& c) {
@@ -44,6 +53,8 @@ class Drbg {
   }
 
  private:
+  Drbg() = default;  // only for import_state
+
   void update(BytesView provided);
 
   Bytes key_;  // K, 32 bytes
