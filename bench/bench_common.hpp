@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "adscrypto/params.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "core/cloud.hpp"
 #include "core/owner.hpp"
@@ -145,7 +146,10 @@ class BenchJson {
 
   void add(BenchRow row) { rows_.push_back(std::move(row)); }
 
-  /// Writes BENCH_<name>.json into the working directory.
+  /// Writes BENCH_<name>.json into the working directory. When the metrics
+  /// subsystem is live (SLICER_METRICS set), the run's phase instrumentation
+  /// is embedded as a "phases" section so one file carries both the
+  /// wall-clock rows and the per-phase breakdown behind them.
   void write() const {
     std::ofstream out("BENCH_" + name_ + ".json");
     out << "{\n  \"bench\": \"" << escape(name_) << "\",\n"
@@ -160,7 +164,9 @@ class BenchJson {
         out << ", \"" << escape(key) << "\": " << value;
       out << "}";
     }
-    out << "\n  ]\n}\n";
+    out << "\n  ]";
+    if (metrics::enabled()) out << ",\n  \"phases\": " << metrics::snapshot_json();
+    out << "\n}\n";
   }
 
  private:

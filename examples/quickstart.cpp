@@ -7,11 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "adscrypto/params.hpp"
-#include "core/cloud.hpp"
-#include "core/owner.hpp"
-#include "core/user.hpp"
-#include "core/verify.hpp"
+#include "slicer.hpp"
 
 using namespace slicer;
 

@@ -13,23 +13,26 @@
 // Example:
 //   ./build/examples/slicer_cli --bits 16 --records 2000 \
 //       gt 60000 range 100 200 insert 999999 150 eq 150 stats
+//
+// With SLICER_METRICS=json in the environment, a metrics snapshot of the
+// whole run (per-phase histograms, accumulator/cache counters) is printed
+// to stdout before exit.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "adscrypto/params.hpp"
-#include "core/client.hpp"
-#include "core/owner.hpp"
+#include "slicer.hpp"
 
 using namespace slicer;
 
 namespace {
 
 void print_result(const char* what, const core::QueryResult& r) {
-  std::printf("%-24s proof=%s tokens=%zu hits=%zu ids=[", what,
-              r.verified ? "VALID" : "INVALID", r.token_count, r.ids.size());
+  std::printf("%-24s proof=%s tokens=%zu/%zu hits=%zu ids=[", what,
+              r.verified ? "VALID" : "INVALID", r.tokens_verified,
+              r.token_count, r.ids.size());
   for (std::size_t i = 0; i < r.ids.size() && i < 12; ++i)
     std::printf("%s%llu", i ? " " : "", (unsigned long long)r.ids[i]);
   if (r.ids.size() > 12) std::printf(" ...");
@@ -131,6 +134,13 @@ int main(int argc, char** argv) try {
       usage();
     }
   }
+
+  // SLICER_METRICS=json: dump the run's instrumentation snapshot. Any other
+  // non-empty value records metrics without printing (useful under a
+  // debugger or when another emitter owns the output).
+  const char* metrics_mode = std::getenv("SLICER_METRICS");
+  if (metrics_mode != nullptr && std::strcmp(metrics_mode, "json") == 0)
+    std::printf("%s\n", metrics::snapshot_json().c_str());
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "slicer_cli: error: %s\n", e.what());

@@ -4,6 +4,7 @@
 
 #include "bigint/primes.hpp"
 #include "common/errors.hpp"
+#include "common/metrics.hpp"
 #include "common/serial.hpp"
 #include "common/thread_pool.hpp"
 
@@ -51,8 +52,19 @@ RsaAccumulator::RsaAccumulator(AccumulatorParams params, bool use_fixed_base)
 }
 
 BigUint RsaAccumulator::pow_g(const BigUint& exponent) const {
+  // Fixed-base comb hits vs generic sliding-window falls: the ratio is the
+  // paper-facing evidence that accumulator exponentiations stay on the
+  // fast path (DESIGN.md §3d).
+  static metrics::Counter& fixed_base_pows =
+      metrics::counter("adscrypto.accumulator.fixed_base_pows");
+  static metrics::Counter& generic_pows =
+      metrics::counter("adscrypto.accumulator.generic_pows");
   Montgomery::Scratch scratch;
-  if (fixed_g_) return fixed_g_->pow(exponent, scratch);
+  if (fixed_g_) {
+    fixed_base_pows.add();
+    return fixed_g_->pow(exponent, scratch);
+  }
+  generic_pows.add();
   return mont_.pow(params_.generator, exponent, scratch);
 }
 
@@ -87,6 +99,9 @@ std::pair<AccumulatorParams, AccumulatorTrapdoor> RsaAccumulator::setup(
 
 BigUint RsaAccumulator::accumulate(
     std::span<const BigUint> primes) const {
+  static metrics::Histogram& accumulate_ns =
+      metrics::histogram("adscrypto.accumulator.accumulate_ns");
+  const metrics::ScopedTimer timer(accumulate_ns);
   if (primes.empty()) return params_.generator;
   const BigUint exponent = product_tree(primes);
   return pow_g(exponent);
@@ -94,6 +109,9 @@ BigUint RsaAccumulator::accumulate(
 
 BigUint RsaAccumulator::accumulate(std::span<const BigUint> primes,
                                    const AccumulatorTrapdoor& trapdoor) const {
+  static metrics::Histogram& accumulate_ns =
+      metrics::histogram("adscrypto.accumulator.accumulate_ns");
+  const metrics::ScopedTimer timer(accumulate_ns);
   if (primes.empty()) return params_.generator;
   const BigUint phi = trapdoor.phi();
   BigUint exponent(1);
@@ -103,6 +121,9 @@ BigUint RsaAccumulator::accumulate(std::span<const BigUint> primes,
 
 BigUint RsaAccumulator::witness(std::span<const BigUint> primes,
                                 std::size_t index) const {
+  static metrics::Histogram& witness_ns =
+      metrics::histogram("adscrypto.accumulator.witness_ns");
+  const metrics::ScopedTimer timer(witness_ns);
   if (index >= primes.size())
     throw CryptoError("witness index out of range");
   // Exponent = product of all primes except primes[index], assembled from
@@ -175,6 +196,9 @@ void RsaAccumulator::all_witnesses_rec(std::span<const BigUint> primes,
 
 std::vector<BigUint> RsaAccumulator::all_witnesses(
     std::span<const BigUint> primes) const {
+  static metrics::Histogram& all_witnesses_ns =
+      metrics::histogram("adscrypto.accumulator.all_witnesses_ns");
+  const metrics::ScopedTimer timer(all_witnesses_ns);
   std::vector<BigUint> out(primes.size());
   if (primes.empty()) return out;
   Montgomery::Scratch scratch;
@@ -192,6 +216,9 @@ bool RsaAccumulator::verify(const AccumulatorParams& params, const BigUint& ac,
 
 bool RsaAccumulator::verify(const bigint::Montgomery& mont, const BigUint& ac,
                             const BigUint& element, const BigUint& witness) {
+  static metrics::Counter& verifies =
+      metrics::counter("adscrypto.accumulator.verifies");
+  verifies.add();
   if (witness.is_zero() || witness >= mont.modulus()) return false;
   if (element.is_zero()) return false;
   return mont.pow(witness, element) == ac;

@@ -10,6 +10,7 @@
 
 #include "bigint/primes.hpp"
 #include "common/errors.hpp"
+#include "common/metrics.hpp"
 #include "crypto/sha256.hpp"
 
 namespace slicer::adscrypto {
@@ -87,6 +88,18 @@ bigint::BigUint hash_to_prime_candidate(BytesView data, std::uint64_t counter,
 }
 
 PrimeWithCounter hash_to_prime_counted(BytesView data, std::size_t bits) {
+  // Mirrors of the cache counters plus sieve/Miller–Rabin rates for the
+  // observability snapshot (prime_cache_stats() stays the test-facing API).
+  static metrics::Counter& m_hits = metrics::counter("adscrypto.h2p.cache_hits");
+  static metrics::Counter& m_misses =
+      metrics::counter("adscrypto.h2p.cache_misses");
+  static metrics::Counter& m_sieve_rejects =
+      metrics::counter("adscrypto.h2p.sieve_rejects");
+  static metrics::Counter& m_miller_rabin =
+      metrics::counter("adscrypto.h2p.miller_rabin_runs");
+  static metrics::Histogram& m_search_ns =
+      metrics::histogram("adscrypto.h2p.search_ns");
+
   check_bits(bits);
   PrimeCache& cache = prime_cache();
   std::string key = cache_key(data, bits);
@@ -95,11 +108,14 @@ PrimeWithCounter hash_to_prime_counted(BytesView data, std::size_t bits) {
     const auto it = cache.map.find(key);
     if (it != cache.map.end()) {
       cache.hits.fetch_add(1, std::memory_order_relaxed);
+      m_hits.add();
       return it->second;
     }
   }
   cache.misses.fetch_add(1, std::memory_order_relaxed);
+  m_misses.add();
 
+  const metrics::ScopedTimer timer(m_search_ns);
   const crypto::Sha256 midstate = absorb_prefix(data);
   PrimeWithCounter found;
   for (std::uint64_t counter = 0;; ++counter) {
@@ -108,7 +124,11 @@ PrimeWithCounter hash_to_prime_counted(BytesView data, std::size_t bits) {
     // prime; only survivors pay for Miller–Rabin. A sieve hit is always a
     // true compositeness witness, so the surviving counter is identical
     // to the unsieved search (asserted in tests).
-    if (bigint::has_small_prime_factor(candidate)) continue;
+    if (bigint::has_small_prime_factor(candidate)) {
+      m_sieve_rejects.add();
+      continue;
+    }
+    m_miller_rabin.add();
     if (bigint::is_probable_prime_fixed(candidate)) {
       found = PrimeWithCounter{std::move(candidate), counter};
       break;

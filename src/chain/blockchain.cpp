@@ -2,11 +2,27 @@
 
 #include "common/errors.hpp"
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
 #include "common/serial.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 
 namespace slicer::chain {
+
+namespace {
+
+/// Per-category gas attribution: every executed transaction's breakdown is
+/// folded into chain.gas.<category> counters so a run's gas profile (Table
+/// II shape) appears in the metrics snapshot alongside the timing phases.
+void record_gas_metrics(const Receipt& receipt) {
+  if (!metrics::enabled()) return;
+  metrics::counter("chain.tx.executed").add();
+  metrics::counter("chain.gas.total").add(receipt.gas_used);
+  for (const auto& [category, amount] : receipt.gas_breakdown)
+    metrics::counter("chain.gas." + category).add(amount);
+}
+
+}  // namespace
 
 Blockchain::Blockchain(std::vector<Address> validators, GasSchedule schedule)
     : schedule_(schedule), validators_(std::move(validators)) {
@@ -105,6 +121,7 @@ void Blockchain::execute_deployment(PendingDeployment& dep, Receipt& receipt) {
   }
   receipt.gas_used = gas.used();
   receipt.gas_breakdown = gas.breakdown();
+  record_gas_metrics(receipt);
   // The deployer pays for gas regardless of outcome.
   std::uint64_t& sender = balance_ref(dep.from);
   sender -= std::min(sender, receipt.gas_used);
@@ -163,6 +180,7 @@ void Blockchain::execute_call(const Transaction& tx, Receipt& receipt) {
 
   receipt.gas_used = gas.used();
   receipt.gas_breakdown = gas.breakdown();
+  record_gas_metrics(receipt);
   std::uint64_t& payer = balance_ref(tx.from);
   payer -= std::min(payer, receipt.gas_used);
 }

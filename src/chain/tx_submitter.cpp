@@ -1,6 +1,33 @@
 #include "chain/tx_submitter.hpp"
 
+#include "common/metrics.hpp"
+
 namespace slicer::chain {
+
+namespace {
+
+/// Mempool-retry observability: mirrors SubmitterStats into the metrics
+/// registry so chain reliability shows up in the same snapshot as the
+/// timing phases.
+metrics::Counter& submit_counter() {
+  static metrics::Counter& c = metrics::counter("chain.submitter.submits");
+  return c;
+}
+metrics::Counter& resubmit_counter() {
+  static metrics::Counter& c = metrics::counter("chain.submitter.resubmits");
+  return c;
+}
+metrics::Counter& seal_failure_counter() {
+  static metrics::Counter& c =
+      metrics::counter("chain.submitter.seal_failures");
+  return c;
+}
+metrics::Counter& backoff_counter() {
+  static metrics::Counter& c = metrics::counter("chain.submitter.backoff_ms");
+  return c;
+}
+
+}  // namespace
 
 std::uint64_t TxSubmitter::backoff_for(int attempt) const {
   std::uint64_t delay = cfg_.base_backoff_ms;
@@ -12,6 +39,7 @@ Receipt TxSubmitter::submit_and_wait(const Transaction& tx) {
   const Bytes hash = tx.hash();
   chain_.submit(tx);
   ++stats_.submits;
+  submit_counter().add();
 
   for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
     ++stats_.seal_attempts;
@@ -21,7 +49,9 @@ Receipt TxSubmitter::submit_and_wait(const Transaction& tx) {
       // Outage: the mempool is untouched, so the transaction (if it made it
       // in) is still queued. Back off and try the next validator rotation.
       ++stats_.seal_failures;
+      seal_failure_counter().add();
       stats_.backoff_ms += backoff_for(attempt);
+      backoff_counter().add(backoff_for(attempt));
       continue;
     }
     // receipt_of returns the FIRST receipt for the hash. Blocks execute in
@@ -32,9 +62,12 @@ Receipt TxSubmitter::submit_and_wait(const Transaction& tx) {
     // reached the mempool. Resubmit — idempotent thanks to the chain's
     // nonce tracking even if the original eventually surfaces.
     stats_.backoff_ms += backoff_for(attempt);
+    backoff_counter().add(backoff_for(attempt));
     chain_.submit(tx);
     ++stats_.submits;
     ++stats_.resubmits;
+    submit_counter().add();
+    resubmit_counter().add();
   }
   throw SubmitTimeout(cfg_.max_attempts);
 }
@@ -46,7 +79,9 @@ const Block& TxSubmitter::seal_with_retry() {
       return chain_.seal_block();
     } catch (const ValidatorUnavailable&) {
       ++stats_.seal_failures;
+      seal_failure_counter().add();
       stats_.backoff_ms += backoff_for(attempt);
+      backoff_counter().add(backoff_for(attempt));
     }
   }
   throw SubmitTimeout(cfg_.max_attempts);

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "common/metrics.hpp"
+
 namespace slicer {
 
 namespace {
@@ -93,6 +95,10 @@ bool ThreadPool::is_serial() const {
 }
 
 void ThreadPool::worker_loop() {
+  static metrics::Counter& helpers_run =
+      metrics::counter("common.thread_pool.helpers_run");
+  static metrics::Gauge& queue_depth =
+      metrics::gauge("common.thread_pool.queue_depth");
   for (;;) {
     std::function<void()> task;
     {
@@ -101,17 +107,25 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth.set(static_cast<std::int64_t>(queue_.size()));
     }
+    helpers_run.add();
     task();
   }
 }
 
 void ThreadPool::enqueue_helpers(std::size_t count,
                                  const std::function<void()>& helper) {
+  static metrics::Counter& helpers_enqueued =
+      metrics::counter("common.thread_pool.helpers_enqueued");
+  static metrics::Gauge& queue_depth =
+      metrics::gauge("common.thread_pool.queue_depth");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < count; ++i) queue_.push_back(helper);
+    queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
+  helpers_enqueued.add(count);
   if (count == 1) {
     cv_.notify_one();
   } else {
@@ -122,12 +136,18 @@ void ThreadPool::enqueue_helpers(std::size_t count,
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body,
                               std::size_t grain) {
+  static metrics::Counter& inline_jobs =
+      metrics::counter("common.thread_pool.inline_jobs");
+  static metrics::Counter& parallel_jobs =
+      metrics::counter("common.thread_pool.parallel_jobs");
   if (n == 0) return;
   if (grain == 0) grain = 1;
   if (is_serial() || n <= grain) {
+    inline_jobs.add();
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  parallel_jobs.add();
 
   auto job = std::make_shared<Job>();
   job->n = n;

@@ -1,10 +1,27 @@
 #include "core/client.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/errors.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace slicer::core {
+
+namespace {
+
+/// Merges b's verification detail into a (interval queries concatenate the
+/// detail of their sub-queries in submission order).
+void merge_detail(QueryResult& a, QueryResult& b) {
+  a.verified = a.verified && b.verified;
+  a.token_count += b.token_count;
+  a.tokens_verified += b.tokens_verified;
+  a.token_detail.insert(a.token_detail.end(), b.token_detail.begin(),
+                        b.token_detail.end());
+}
+
+}  // namespace
 
 QueryClient::QueryClient(DataUser& user, CloudServer& cloud,
                          std::size_t prime_bits)
@@ -12,37 +29,68 @@ QueryClient::QueryClient(DataUser& user, CloudServer& cloud,
 
 QueryResult QueryClient::run(std::string_view attribute, std::uint64_t v,
                              MatchCondition mc) {
-  const auto tokens = user_.make_tokens(attribute, v, mc);
+  static metrics::Histogram& query_ns =
+      metrics::histogram("core.client.query_ns");
+  static metrics::Histogram& tokens_ns =
+      metrics::histogram("core.client.tokens_ns");
+  static metrics::Counter& queries = metrics::counter("core.client.queries");
+  const metrics::ScopedTimer timer(query_ns);
+  const trace::Span span("client.query");
+  queries.add();
+
+  std::vector<SearchToken> tokens;
+  {
+    const metrics::ScopedTimer token_timer(tokens_ns);
+    const trace::Span token_span("client.tokens");
+    tokens = user_.make_tokens(attribute, v, mc);
+  }
   const auto replies = cloud_.search(tokens);
+
   QueryResult out;
   out.token_count = tokens.size();
-  out.verified =
-      verify_query(cloud_.accumulator_params(), cloud_.accumulator_value(),
-                   tokens, replies, prime_bits_);
+  QueryVerification verification =
+      verify_query_detailed(cloud_.accumulator_params(),
+                            cloud_.accumulator_value(), tokens, replies,
+                            prime_bits_);
+  out.verified = verification.verified;
+  out.tokens_verified = verification.tokens_verified;
+  out.token_detail = std::move(verification.tokens);
   out.ids = user_.decrypt(replies);
   std::sort(out.ids.begin(), out.ids.end());
   out.ids.erase(std::unique(out.ids.begin(), out.ids.end()), out.ids.end());
   return out;
 }
 
-QueryResult QueryClient::intersect(QueryResult a, const QueryResult& b) {
+QueryResult QueryClient::intersect(QueryResult a, QueryResult b) {
   std::vector<RecordId> both;
   std::set_intersection(a.ids.begin(), a.ids.end(), b.ids.begin(),
                         b.ids.end(), std::back_inserter(both));
   a.ids = std::move(both);
-  a.verified = a.verified && b.verified;
-  a.token_count += b.token_count;
+  merge_detail(a, b);
   return a;
 }
 
-QueryResult QueryClient::unite(QueryResult a, const QueryResult& b) {
+QueryResult QueryClient::unite(QueryResult a, QueryResult b) {
   std::vector<RecordId> merged;
   std::set_union(a.ids.begin(), a.ids.end(), b.ids.begin(), b.ids.end(),
                  std::back_inserter(merged));
   a.ids = std::move(merged);
-  a.verified = a.verified && b.verified;
-  a.token_count += b.token_count;
+  merge_detail(a, b);
   return a;
+}
+
+QueryResult QueryClient::empty_result(const char* what) {
+  // Env consulted per call (not cached): only empty-interval queries reach
+  // this, so there is no hot-path cost, and tests can flip the variable.
+  const char* strict = std::getenv("SLICER_STRICT_INTERVALS");
+  if (strict != nullptr && strict[0] != '\0')
+    throw CryptoError(std::string(what) + ": interval is empty");
+  static metrics::Counter& empties =
+      metrics::counter("core.client.empty_interval_queries");
+  empties.add();
+  QueryResult out;
+  out.verified = true;  // vacuously: no token was needed, none can fail
+  return out;
 }
 
 QueryResult QueryClient::equal(std::uint64_t v) {
@@ -57,6 +105,10 @@ QueryResult QueryClient::less(std::uint64_t v) {
 QueryResult QueryClient::between(std::uint64_t lo, std::uint64_t hi) {
   return between(user_.config().attribute, lo, hi);
 }
+QueryResult QueryClient::between_inclusive(std::uint64_t lo,
+                                           std::uint64_t hi) {
+  return between_inclusive(user_.config().attribute, lo, hi);
+}
 
 QueryResult QueryClient::equal(std::string_view attribute, std::uint64_t v) {
   return run(attribute, v, MatchCondition::kEqual);
@@ -70,22 +122,21 @@ QueryResult QueryClient::less(std::string_view attribute, std::uint64_t v) {
 
 QueryResult QueryClient::between(std::string_view attribute, std::uint64_t lo,
                                  std::uint64_t hi) {
-  if (hi <= lo || hi - lo < 2)
-    throw CryptoError("between: exclusive interval (lo, hi) is empty");
+  if (hi <= lo || hi - lo < 2) return empty_result("between");
   return intersect(run(attribute, lo, MatchCondition::kGreater),
                    run(attribute, hi, MatchCondition::kLess));
 }
 
-QueryResult QueryClient::between_inclusive(std::uint64_t lo,
+QueryResult QueryClient::between_inclusive(std::string_view attribute,
+                                           std::uint64_t lo,
                                            std::uint64_t hi) {
-  if (lo > hi) throw CryptoError("between_inclusive: lo > hi");
-  const std::string_view attr = user_.config().attribute;
-  if (lo == hi) return run(attr, lo, MatchCondition::kEqual);
+  if (lo > hi) return empty_result("between_inclusive");
+  if (lo == hi) return run(attribute, lo, MatchCondition::kEqual);
   // [lo, hi] = (lo, hi) ∪ {lo} ∪ {hi}.
-  QueryResult out =
-      hi - lo < 2 ? QueryResult{{}, true, 0} : between(attr, lo, hi);
-  out = unite(std::move(out), run(attr, lo, MatchCondition::kEqual));
-  out = unite(std::move(out), run(attr, hi, MatchCondition::kEqual));
+  QueryResult out = hi - lo < 2 ? QueryResult{.verified = true}
+                                : between(attribute, lo, hi);
+  out = unite(std::move(out), run(attribute, lo, MatchCondition::kEqual));
+  out = unite(std::move(out), run(attribute, hi, MatchCondition::kEqual));
   return out;
 }
 

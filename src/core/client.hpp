@@ -4,9 +4,19 @@
 // verification into one call, and composes the primitive conditions into
 // interval queries: `between(lo, hi)` intersects a ">" and a "<" search
 // client-side, so a two-sided range costs at most 2b tokens. Every result
-// carries the verification verdict — callers decide what to do with
+// carries per-token verification detail — callers decide what to do with
 // unverified answers (the blockchain path escalates instead; see
 // chain/slicer_contract.hpp).
+//
+// Every query verb has single-attribute and (attribute, ...) forms; the
+// single-attribute form queries the configured default attribute.
+//
+// Empty intervals: a `between`/`between_inclusive` whose interval is
+// provably empty (lo >= hi, resp. lo > hi) returns an empty, verified
+// QueryResult without contacting the cloud — a provably empty query is not
+// an error. Set SLICER_STRICT_INTERVALS to restore the legacy behaviour of
+// throwing CryptoError (for callers that treat an empty interval as a bug
+// in their own query construction).
 #pragma once
 
 #include "core/cloud.hpp"
@@ -17,9 +27,14 @@ namespace slicer::core {
 
 /// Outcome of a verifiable query.
 struct QueryResult {
-  std::vector<RecordId> ids;   // sorted, deduplicated
-  bool verified = false;       // every token's proof checked out
-  std::size_t token_count = 0; // search tokens sent to the cloud
+  std::vector<RecordId> ids;    // sorted, deduplicated
+  bool verified = false;        // every token's proof checked out
+  std::size_t token_count = 0;  // search tokens sent to the cloud
+  std::size_t tokens_verified = 0;  // tokens whose membership proof held
+  /// Per-token verification outcome and latency, in token submission
+  /// order (concatenated across the sub-queries of an interval). Empty
+  /// only for a query that needed no tokens.
+  std::vector<TokenVerification> token_detail;
 };
 
 /// High-level query front end over one (user, cloud) pair.
@@ -35,27 +50,33 @@ class QueryClient {
   QueryResult greater(std::uint64_t v);
   QueryResult less(std::uint64_t v);
 
-  /// Records with lo < value < hi (exclusive). Throws CryptoError when
-  /// lo >= hi leaves an empty interval — callers should not pay for a
-  /// provably empty query.
+  /// Records with lo < value < hi (exclusive). An empty interval
+  /// (hi <= lo + 1) yields an empty verified result — see the header
+  /// comment for SLICER_STRICT_INTERVALS.
   QueryResult between(std::uint64_t lo, std::uint64_t hi);
 
   /// Records with lo <= value <= hi (inclusive); composed from the
   /// exclusive interval plus the two endpoint equality searches.
   QueryResult between_inclusive(std::uint64_t lo, std::uint64_t hi);
 
-  /// Multi-attribute variants (§V-F).
+  /// Multi-attribute variants (§V-F) — full verb parity with the
+  /// single-attribute forms above.
   QueryResult equal(std::string_view attribute, std::uint64_t v);
   QueryResult greater(std::string_view attribute, std::uint64_t v);
   QueryResult less(std::string_view attribute, std::uint64_t v);
   QueryResult between(std::string_view attribute, std::uint64_t lo,
                       std::uint64_t hi);
+  QueryResult between_inclusive(std::string_view attribute, std::uint64_t lo,
+                                std::uint64_t hi);
 
  private:
   QueryResult run(std::string_view attribute, std::uint64_t v,
                   MatchCondition mc);
-  static QueryResult intersect(QueryResult a, const QueryResult& b);
-  static QueryResult unite(QueryResult a, const QueryResult& b);
+  static QueryResult intersect(QueryResult a, QueryResult b);
+  static QueryResult unite(QueryResult a, QueryResult b);
+  /// The provably-empty-interval outcome (or CryptoError under
+  /// SLICER_STRICT_INTERVALS).
+  static QueryResult empty_result(const char* what);
 
   DataUser& user_;
   CloudServer& cloud_;

@@ -4,7 +4,9 @@
 #include "adscrypto/multiset_hash.hpp"
 #include "common/errors.hpp"
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace slicer::core {
 
@@ -20,7 +22,14 @@ CloudServer::CloudServer(adscrypto::TrapdoorPublicKey trapdoor_pk,
       ac_(accumulator_.params().generator) {}
 
 void CloudServer::apply(const UpdateOutput& update) {
+  static metrics::Histogram& apply_ns =
+      metrics::histogram("core.cloud.apply_ns");
+  static metrics::Counter& entries_applied =
+      metrics::counter("core.cloud.entries_applied");
+  const metrics::ScopedTimer timer(apply_ns);
+  const trace::Span span("cloud.apply");
   for (const auto& [l, d] : update.entries) index_.put(l, d);
+  entries_applied.add(update.entries.size());
   for (const BigUint& x : update.new_primes) {
     prime_pos_[x.to_hex()] = primes_.size();
     primes_.push_back(x);
@@ -37,6 +46,12 @@ void CloudServer::apply(const UpdateOutput& update) {
 }
 
 std::vector<Bytes> CloudServer::fetch_results(const SearchToken& token) const {
+  static metrics::Histogram& fetch_ns =
+      metrics::histogram("core.cloud.fetch_results_ns");
+  static metrics::Counter& results_fetched =
+      metrics::counter("core.cloud.results_fetched");
+  const metrics::ScopedTimer timer(fetch_ns);
+  const trace::Span span("cloud.fetch");
   std::vector<Bytes> results;
   BigUint trapdoor = perm_.decode(token.trapdoor);
   // Walk generations newest → oldest: i = j down to 0.
@@ -50,11 +65,24 @@ std::vector<Bytes> CloudServer::fetch_results(const SearchToken& token) const {
     }
     if (gen < token.j) trapdoor = perm_.forward(trapdoor);
   }
+  results_fetched.add(results.size());
   return results;
 }
 
 TokenReply CloudServer::prove(const SearchToken& token,
                               std::vector<Bytes> results) const {
+  static metrics::Histogram& prove_ns =
+      metrics::histogram("core.cloud.prove_ns");
+  static metrics::Counter& cache_hits =
+      metrics::counter("core.cloud.witness_cache.hits");
+  static metrics::Counter& cache_misses =
+      metrics::counter("core.cloud.witness_cache.misses");
+  const metrics::ScopedTimer timer(prove_ns);
+  const trace::Span span("cloud.prove");
+
+  // Canonical result-set digest: MSet-Mu-Hash folds each element with a
+  // commutative group operation, so any permutation of `results` produces
+  // the identical digest — and therefore the identical prime and witness.
   MultisetHash::Digest h = MultisetHash::empty();
   for (const Bytes& er : results)
     h = MultisetHash::add(h, MultisetHash::hash_element(er));
@@ -73,14 +101,25 @@ TokenReply CloudServer::prove(const SearchToken& token,
   reply.encrypted_results = std::move(results);
   // The cache may lag the prime list (it is rebuilt wholesale); any prime
   // beyond its end gets an on-demand witness instead of a stale lookup.
-  reply.witness = it->second < witness_cache_.size()
-                      ? witness_cache_[it->second]
-                      : accumulator_.witness(primes_, it->second);
+  if (it->second < witness_cache_.size()) {
+    cache_hits.add();
+    reply.witness = witness_cache_[it->second];
+  } else {
+    cache_misses.add();
+    reply.witness = accumulator_.witness(primes_, it->second);
+  }
   return reply;
 }
 
 std::vector<TokenReply> CloudServer::search(
     std::span<const SearchToken> tokens) const {
+  static metrics::Histogram& search_ns =
+      metrics::histogram("core.cloud.search_ns");
+  static metrics::Counter& tokens_served =
+      metrics::counter("core.cloud.tokens_served");
+  const metrics::ScopedTimer timer(search_ns);
+  const trace::Span span("cloud.search");
+  tokens_served.add(tokens.size());
   // Tokens of one range query are independent; fan them out and keep the
   // replies in submission order.
   return ThreadPool::instance().parallel_map<TokenReply>(
@@ -91,6 +130,9 @@ std::vector<TokenReply> CloudServer::search(
 }
 
 void CloudServer::precompute_witnesses() {
+  static metrics::Histogram& precompute_ns =
+      metrics::histogram("core.cloud.precompute_witnesses_ns");
+  const metrics::ScopedTimer timer(precompute_ns);
   witness_cache_ = accumulator_.all_witnesses(primes_);
   witness_autorefresh_ = true;
 }

@@ -37,7 +37,11 @@ class CloudServer {
   std::vector<Bytes> fetch_results(const SearchToken& token) const;
 
   /// VO generation only (the Fig. 5b/5d timing component). `results` must
-  /// be exactly what fetch_results returned for this token; throws
+  /// be the multiset fetch_results returned for this token, but in ANY
+  /// order: the result-set digest is an MSet-Mu-Hash, which is order-
+  /// insensitive by construction, so a reordered (e.g. batched or
+  /// re-merged) result list canonicalizes to the identical prime and
+  /// witness — tests/core/prove_canonical_test.cpp pins this. Throws
   /// ProtocolError if the derived prime is not in X (an honest cloud with
   /// a consistent index never hits this).
   TokenReply prove(const SearchToken& token,

@@ -5,7 +5,9 @@
 #include "adscrypto/hash_to_prime.hpp"
 #include "common/errors.hpp"
 #include "common/fault.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "crypto/prf.hpp"
 #include "sore/sore.hpp"
 
@@ -107,6 +109,19 @@ UpdateOutput DataOwner::insert(std::span<const MultiRecord> db_plus) {
 
 UpdateOutput DataOwner::ingest(
     const std::map<std::string, std::vector<RecordId>>& grouped) {
+  // The index/ADS split feeds both last_ingest_stats() (the benches' wall-
+  // clock counters) and the always-on phase histograms (the "phases"
+  // section of every BENCH_*.json).
+  static metrics::Histogram& index_ns =
+      metrics::histogram("core.owner.ingest.index_ns");
+  static metrics::Histogram& ads_ns =
+      metrics::histogram("core.owner.ingest.ads_ns");
+  static metrics::Counter& keywords_ingested =
+      metrics::counter("core.owner.keywords_ingested");
+  static metrics::Counter& primes_derived =
+      metrics::counter("core.owner.primes_derived");
+  const trace::Span ingest_span("owner.ingest");
+
   const RecordCipher cipher(keys_.k_r);
   UpdateOutput out;
   ThreadPool& pool = ThreadPool::instance();
@@ -221,6 +236,15 @@ UpdateOutput DataOwner::ingest(
       std::chrono::duration<double>(ads_start - index_start).count();
   last_stats_.ads_seconds =
       std::chrono::duration<double>(ads_end - ads_start).count();
+  index_ns.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ads_start -
+                                                           index_start)
+          .count()));
+  ads_ns.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ads_end - ads_start)
+          .count()));
+  keywords_ingested.add(jobs.size());
+  primes_derived.add(out.new_primes.size());
   return out;
 }
 

@@ -1,8 +1,12 @@
 #include "core/verify.hpp"
 
+#include <chrono>
+
 #include "adscrypto/hash_to_prime.hpp"
 #include "adscrypto/multiset_hash.hpp"
 #include "bigint/montgomery.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace slicer::core {
 
@@ -42,16 +46,65 @@ bool verify_query(const adscrypto::AccumulatorParams& params,
                   std::span<const SearchToken> tokens,
                   std::span<const TokenReply> replies,
                   std::size_t prime_bits) {
-  if (tokens.size() != replies.size()) return false;
+  static metrics::Histogram& query_ns =
+      metrics::histogram("core.verify.query_ns");
+  static metrics::Counter& failures = metrics::counter("core.verify.failures");
+  const metrics::ScopedTimer timer(query_ns);
+  if (tokens.size() != replies.size()) {
+    failures.add();
+    return false;
+  }
   if (tokens.empty()) return true;
   // One Montgomery context (R² mod n, −n⁻¹) amortized across every reply of
   // the query instead of re-derived per witness.
   const bigint::Montgomery mont(params.modulus);
   for (std::size_t i = 0; i < tokens.size(); ++i) {
-    if (!verify_reply_with(mont, ac, tokens[i], replies[i], prime_bits))
+    if (!verify_reply_with(mont, ac, tokens[i], replies[i], prime_bits)) {
+      failures.add();
       return false;
+    }
   }
   return true;
+}
+
+QueryVerification verify_query_detailed(
+    const adscrypto::AccumulatorParams& params, const bigint::BigUint& ac,
+    std::span<const SearchToken> tokens, std::span<const TokenReply> replies,
+    std::size_t prime_bits) {
+  static metrics::Histogram& query_ns =
+      metrics::histogram("core.verify.query_ns");
+  static metrics::Histogram& token_ns =
+      metrics::histogram("core.verify.token_ns");
+  static metrics::Counter& failures = metrics::counter("core.verify.failures");
+  const metrics::ScopedTimer timer(query_ns);
+  const trace::Span span("verify.query");
+
+  QueryVerification out;
+  if (tokens.size() != replies.size()) {
+    failures.add();
+    return out;
+  }
+  out.tokens.reserve(tokens.size());
+  const bigint::Montgomery mont(params.modulus);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const trace::Span token_span("verify.token");
+    const auto start = std::chrono::steady_clock::now();
+    TokenVerification tv;
+    tv.ok = verify_reply_with(mont, ac, tokens[i], replies[i], prime_bits);
+    tv.duration_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    token_ns.record(tv.duration_ns);
+    if (tv.ok) {
+      ++out.tokens_verified;
+    } else {
+      failures.add();
+    }
+    out.tokens.push_back(tv);
+  }
+  out.verified = out.tokens_verified == tokens.size();
+  return out;
 }
 
 }  // namespace slicer::core

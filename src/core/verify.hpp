@@ -7,7 +7,9 @@
 // verification), which is the paper's fairness argument.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "adscrypto/accumulator.hpp"
 #include "core/messages.hpp"
@@ -28,5 +30,26 @@ bool verify_query(const adscrypto::AccumulatorParams& params,
                   std::span<const SearchToken> tokens,
                   std::span<const TokenReply> replies,
                   std::size_t prime_bits = 64);
+
+/// Per-token outcome of a detailed verification pass.
+struct TokenVerification {
+  bool ok = false;
+  std::uint64_t duration_ns = 0;  ///< wall time of this token's check
+};
+
+/// Whole-query verification with per-token attribution. Unlike
+/// verify_query (which may stop at the first failing pair), every pair is
+/// checked so callers see exactly which tokens failed and what each check
+/// cost — the detail QueryClient surfaces in QueryResult.
+struct QueryVerification {
+  bool verified = false;           ///< sizes matched and every token passed
+  std::size_t tokens_verified = 0; ///< number of tokens whose proof held
+  std::vector<TokenVerification> tokens;  ///< one entry per token
+};
+
+QueryVerification verify_query_detailed(
+    const adscrypto::AccumulatorParams& params, const bigint::BigUint& ac,
+    std::span<const SearchToken> tokens, std::span<const TokenReply> replies,
+    std::size_t prime_bits = 64);
 
 }  // namespace slicer::core

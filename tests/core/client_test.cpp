@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/errors.hpp"
 #include "tests/core/test_rig.hpp"
 
@@ -69,11 +71,36 @@ TEST_F(ClientTest, FullDomainInterval) {
   EXPECT_EQ(r.ids, (std::vector<RecordId>{1, 2, 3, 4, 5, 6, 7}));
 }
 
-TEST_F(ClientTest, EmptyIntervalThrows) {
+TEST_F(ClientTest, EmptyIntervalReturnsVerifiedEmpty) {
+  // A provably empty interval is a valid query with a trivially verified
+  // empty answer — no cloud round trip, no exception.
+  for (const auto& r :
+       {client_->between(40, 40), client_->between(40, 41),  // exclusive
+        client_->between(41, 40), client_->between_inclusive(41, 40)}) {
+    EXPECT_TRUE(r.verified);
+    EXPECT_TRUE(r.ids.empty());
+    EXPECT_EQ(r.token_count, 0u);
+    EXPECT_EQ(r.tokens_verified, 0u);
+    EXPECT_TRUE(r.token_detail.empty());
+  }
+}
+
+TEST_F(ClientTest, StrictIntervalsEnvRestoresThrow) {
+  ::setenv("SLICER_STRICT_INTERVALS", "1", 1);
   EXPECT_THROW(client_->between(40, 40), CryptoError);
-  EXPECT_THROW(client_->between(40, 41), CryptoError);  // exclusive => empty
   EXPECT_THROW(client_->between(41, 40), CryptoError);
   EXPECT_THROW(client_->between_inclusive(41, 40), CryptoError);
+  ::unsetenv("SLICER_STRICT_INTERVALS");
+  EXPECT_TRUE(client_->between(40, 40).verified);
+}
+
+TEST_F(ClientTest, VerificationDetail) {
+  const auto r = client_->between_inclusive(10, 40);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.token_count, 0u);
+  EXPECT_EQ(r.tokens_verified, r.token_count);
+  ASSERT_EQ(r.token_detail.size(), r.token_count);
+  for (const auto& t : r.token_detail) EXPECT_TRUE(t.ok);
 }
 
 TEST_F(ClientTest, DeduplicatesAcrossSlices) {
@@ -96,6 +123,11 @@ TEST(ClientMultiAttr, PerAttributeQueries) {
   EXPECT_EQ(client.greater("age", 40).ids, (std::vector<RecordId>{2}));
   EXPECT_EQ(client.greater("score", 50).ids, (std::vector<RecordId>{1}));
   EXPECT_EQ(client.between("age", 20, 70).ids, (std::vector<RecordId>{1, 2}));
+  EXPECT_EQ(client.between_inclusive("age", 30, 60).ids,
+            (std::vector<RecordId>{1, 2}));
+  EXPECT_EQ(client.between_inclusive("score", 90, 90).ids,
+            (std::vector<RecordId>{1}));
+  EXPECT_TRUE(client.between_inclusive("age", 61, 60).ids.empty());
 }
 
 }  // namespace
