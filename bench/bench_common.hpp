@@ -93,7 +93,8 @@ struct World {
 };
 
 inline std::unique_ptr<World> make_world(std::size_t bits, std::size_t count,
-                                         bool ingest = true) {
+                                         bool ingest = true,
+                                         std::size_t shard_count = 0) {
   auto world = std::make_unique<World>();
   world->config.value_bits = bits;
   world->config.prime_bits = 64;
@@ -104,10 +105,11 @@ inline std::unique_ptr<World> make_world(std::size_t bits, std::size_t count,
       world->config, core::Keys::generate(rng),
       adscrypto::default_trapdoor_public_key(),
       adscrypto::default_trapdoor_secret_key(), world->acc_params,
-      bench_accumulator().second, crypto::Drbg(rng.generate(32)));
+      bench_accumulator().second, crypto::Drbg(rng.generate(32)),
+      shard_count);
   world->cloud = std::make_unique<core::CloudServer>(
       adscrypto::default_trapdoor_public_key(), world->acc_params,
-      world->config.prime_bits);
+      world->config.prime_bits, shard_count);
   world->records = gen_records(bits, count);
   if (ingest) {
     world->cloud->apply(world->owner->insert(world->records));

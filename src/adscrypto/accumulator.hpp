@@ -76,6 +76,24 @@ class RsaAccumulator {
   std::vector<bigint::BigUint> all_witnesses(
       std::span<const bigint::BigUint> primes) const;
 
+  /// Same root-factor batch, but relative to an arbitrary base B:
+  /// out[i] = B^(∏_{j≠i} x_j) mod n. With B = g this is the plain
+  /// all_witnesses; with B = the pre-batch accumulator value Ac_old it
+  /// yields the witnesses of a freshly inserted batch against the updated
+  /// accumulator (Ac_old already carries every older prime in its
+  /// exponent) — the incremental-refresh path of the sharded accumulator.
+  std::vector<bigint::BigUint> all_witnesses(
+      std::span<const bigint::BigUint> primes,
+      const bigint::BigUint& base) const;
+
+  /// g^exponent mod n through the fixed-base comb table when enabled (the
+  /// generic sliding window otherwise). Public so incremental maintainers
+  /// holding a running exponent (the sharded accumulator's trapdoor path)
+  /// hit the same fast path as accumulate().
+  bigint::BigUint pow_generator(const bigint::BigUint& exponent) const {
+    return pow_g(exponent);
+  }
+
   /// Verifies witness^element == Ac (mod n). This is exactly what the smart
   /// contract executes on chain.
   static bool verify(const AccumulatorParams& params, const bigint::BigUint& ac,

@@ -8,6 +8,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -141,3 +142,23 @@ struct BigUint::ExtGcd {
 };
 
 }  // namespace slicer::bigint
+
+/// Hash over the normalized limb vector — lets hot-path dictionaries key on
+/// BigUint directly instead of paying a to_hex()/to_bytes_be() encoding per
+/// lookup (the cloud's prime-position map is the motivating case).
+template <>
+struct std::hash<slicer::bigint::BigUint> {
+  std::size_t operator()(const slicer::bigint::BigUint& v) const noexcept {
+    // splitmix64 finalizer folded over the limbs; normalization makes the
+    // limb vector a canonical representation, so equal values hash equally.
+    std::uint64_t h = 0x9e3779b97f4a7c15ull + v.limb_count();
+    for (const std::uint64_t limb : v.limbs()) {
+      h ^= limb;
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+      h *= 0x94d049bb133111ebull;
+      h ^= h >> 31;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};

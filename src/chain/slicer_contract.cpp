@@ -2,6 +2,7 @@
 
 #include "adscrypto/hash_to_prime.hpp"
 #include "adscrypto/multiset_hash.hpp"
+#include "adscrypto/sharded_accumulator.hpp"
 #include "bigint/primes.hpp"
 #include "common/errors.hpp"
 #include "common/serial.hpp"
@@ -17,6 +18,7 @@ constexpr std::uint8_t kMethodUpdateAc = 0x01;
 constexpr std::uint8_t kMethodSubmitQuery = 0x02;
 constexpr std::uint8_t kMethodSubmitResult = 0x03;
 constexpr std::uint8_t kMethodCancelQuery = 0x04;
+constexpr std::uint8_t kMethodUpdateShards = 0x05;
 
 // Value-transfer stipend (G_callvalue-ish) charged per payout/refund.
 constexpr std::uint64_t kTransferGas = 9'000;
@@ -71,6 +73,14 @@ Bytes encode_update_ac(const BigUint& new_ac) {
   Writer w;
   w.u8(kMethodUpdateAc);
   w.bytes(new_ac.to_bytes_be());
+  return std::move(w).take();
+}
+
+Bytes encode_update_shards(std::span<const BigUint> shard_values) {
+  Writer w;
+  w.u8(kMethodUpdateShards);
+  w.u32(static_cast<std::uint32_t>(shard_values.size()));
+  for (const BigUint& v : shard_values) w.bytes(v.to_bytes_be());
   return std::move(w).take();
 }
 
@@ -140,6 +150,8 @@ Bytes SlicerContract::call(const CallContext& ctx, BytesView calldata) {
       return handle_submit_result(ctx, r);
     case kMethodCancelQuery:
       return handle_cancel_query(ctx, r);
+    case kMethodUpdateShards:
+      return handle_update_shards(ctx, r);
     default:
       throw ContractRevert("unknown method selector");
   }
@@ -158,7 +170,47 @@ Bytes SlicerContract::handle_update_ac(const CallContext& ctx, Reader& r) {
   ctx.gas->charge(s.sstore_reset, "ac_store");
   ctx.gas->charge(s.log_base + s.log_per_byte * 32, "event");
   ac_ = new_ac;
+  // A legacy single-value publication supersedes any sharded view.
+  shard_values_.clear();
   if (ctx.logs) ctx.logs->push_back("AcUpdated");
+  return {};
+}
+
+Bytes SlicerContract::handle_update_shards(const CallContext& ctx, Reader& r) {
+  const GasSchedule& s = ctx.gas->schedule();
+  ctx.gas->charge(s.sload, "owner_check");
+  if (ctx.sender != owner_)
+    throw ContractRevert("update_shards: not the owner");
+
+  const std::uint32_t k = r.count(4);
+  if (k == 0) throw ContractRevert("update_shards: no shards");
+  std::vector<BigUint> values;
+  values.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    BigUint v = BigUint::from_bytes_be(r.bytes());
+    if (v.is_zero() || v >= params_.modulus)
+      throw ContractRevert("update_shards: value out of range");
+    values.push_back(std::move(v));
+  }
+  r.expect_end();
+
+  // Per-shard gas: each shard value occupies ceil(|n|/32) storage words,
+  // and the chain digest is the MSet-Mu-Hash fold over the K values — two
+  // domain-separated hashes plus a GF(q) MULMOD per shard (skipped at
+  // K = 1, where the digest IS the single value).
+  const std::size_t mod_len = params_.modulus.to_bytes_be().size();
+  const std::uint64_t words = static_cast<std::uint64_t>((mod_len + 31) / 32);
+  ctx.gas->charge(k * words * s.sstore_reset, "shard_store");
+  if (k > 1)
+    ctx.gas->charge(k * (2 * sha256_gas(s, mod_len + 24) + s.mulmod),
+                    "digest_fold");
+  ctx.gas->charge(s.sstore_reset, "ac_store");
+  ctx.gas->charge(s.log_base + s.log_per_byte * 32, "event");
+
+  ac_ = adscrypto::fold_shard_digests(values);
+  shard_values_ = std::move(values);
+  if (ctx.logs)
+    ctx.logs->push_back("ShardsUpdated(k=" + std::to_string(k) + ")");
   return {};
 }
 
@@ -307,10 +359,19 @@ bool SlicerContract::verify_with_gas(
     ctx.gas->charge(kMrWitnesses * 2 * prime_bits_ * s.mulmod, "primality");
     if (!bigint::is_probable_prime_fixed(x)) return false;
 
-    // (3) VerifyMem: one modexp precompile call witness^x mod n.
+    // (3) VerifyMem: one modexp precompile call witness^x mod n, against
+    // the prime's shard (an extra SLOAD fetches that shard's slot) when the
+    // owner published a sharded digest; against Ac itself otherwise.
     ctx.gas->charge(modexp_gas(s, mod_len, prime_bits_, mod_len), "modexp");
-    if (!adscrypto::RsaAccumulator::verify(params_, ac_, x, reply.witness))
-      return false;
+    if (shard_values_.size() > 1) {
+      ctx.gas->charge(s.sload, "shard_load");
+      if (!adscrypto::ShardedAccumulator::verify(params_, shard_values_, x,
+                                                 reply.witness))
+        return false;
+    } else {
+      if (!adscrypto::RsaAccumulator::verify(params_, ac_, x, reply.witness))
+        return false;
+    }
   }
   return true;
 }

@@ -11,6 +11,10 @@
 //   method 0x04 CANCEL_QUERY  — the submitting user only, after a block-
 //                               height timeout: reclaims the escrow of a
 //                               query no cloud answered (liveness fairness)
+//   method 0x05 UPDATE_SHARDS — owner only: u32 K, then K shard values;
+//                               stores the per-shard accumulation values and
+//                               their MSet-Mu-Hash fold as Ac, gas charged
+//                               per shard
 //
 // Gas-relevant design choices, mirroring what a production Solidity
 // implementation would do:
@@ -51,6 +55,7 @@ std::vector<ProvenReply> attach_counters(
 
 /// Calldata builders (the client side of the ABI).
 Bytes encode_update_ac(const bigint::BigUint& new_ac);
+Bytes encode_update_shards(std::span<const bigint::BigUint> shard_values);
 Bytes encode_submit_query(std::span<const core::SearchToken> tokens);
 Bytes encode_submit_result(std::uint64_t query_id,
                            std::span<const core::SearchToken> tokens,
@@ -74,6 +79,11 @@ class SlicerContract : public Contract {
 
   // --- read-only views (free, like eth_call) ---
   const bigint::BigUint& stored_ac() const { return ac_; }
+  /// Per-shard accumulation values behind stored_ac(). Empty until the
+  /// owner publishes through UPDATE_SHARDS (legacy UPDATE_AC clears it).
+  const std::vector<bigint::BigUint>& stored_shard_values() const {
+    return shard_values_;
+  }
   const Address& owner() const { return owner_; }
   std::uint64_t open_query_count() const { return queries_.size(); }
 
@@ -93,6 +103,7 @@ class SlicerContract : public Contract {
   };
 
   Bytes handle_update_ac(const CallContext& ctx, Reader& r);
+  Bytes handle_update_shards(const CallContext& ctx, Reader& r);
   Bytes handle_submit_query(const CallContext& ctx, Reader& r,
                             BytesView full_calldata);
   Bytes handle_submit_result(const CallContext& ctx, Reader& r);
@@ -106,6 +117,9 @@ class SlicerContract : public Contract {
   Address owner_;
   adscrypto::AccumulatorParams params_;
   bigint::BigUint ac_;
+  /// Per-shard values when the owner publishes sharded digests; empty in
+  /// the legacy single-accumulator mode (verification then checks ac_).
+  std::vector<bigint::BigUint> shard_values_;
   std::size_t prime_bits_ = 64;
   std::uint64_t next_query_id_ = 1;
   std::map<std::uint64_t, PendingQuery> queries_;

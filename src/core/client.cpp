@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "adscrypto/sharded_accumulator.hpp"
 #include "common/errors.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
@@ -48,11 +49,16 @@ QueryResult QueryClient::run(std::string_view attribute, std::uint64_t v,
 
   QueryResult out;
   out.token_count = tokens.size();
+  // Each reply verifies against its prime's shard value; the shard values
+  // themselves must fold to the digest the chain holds, otherwise a cloud
+  // could advertise arbitrary per-shard values and the whole query fails.
+  const std::vector<bigint::BigUint>& shard_values = cloud_.shard_values();
   QueryVerification verification =
-      verify_query_detailed(cloud_.accumulator_params(),
-                            cloud_.accumulator_value(), tokens, replies,
-                            prime_bits_);
-  out.verified = verification.verified;
+      verify_query_detailed(cloud_.accumulator_params(), shard_values, tokens,
+                            replies, prime_bits_);
+  const bool fold_ok = adscrypto::fold_shard_digests(shard_values) ==
+                       cloud_.accumulator_value();
+  out.verified = verification.verified && fold_ok;
   out.tokens_verified = verification.tokens_verified;
   out.token_detail = std::move(verification.tokens);
   out.ids = user_.decrypt(replies);

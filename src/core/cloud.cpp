@@ -1,5 +1,9 @@
 #include "core/cloud.hpp"
 
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
 #include "adscrypto/hash_to_prime.hpp"
 #include "adscrypto/multiset_hash.hpp"
 #include "common/errors.hpp"
@@ -15,33 +19,111 @@ using bigint::BigUint;
 
 CloudServer::CloudServer(adscrypto::TrapdoorPublicKey trapdoor_pk,
                          adscrypto::AccumulatorParams accumulator_params,
-                         std::size_t prime_bits)
+                         std::size_t prime_bits, std::size_t shard_count)
     : perm_(std::move(trapdoor_pk)),
-      accumulator_(std::move(accumulator_params)),
+      sharded_(std::make_unique<adscrypto::ShardedAccumulator>(
+          std::move(accumulator_params), shard_count)),
       prime_bits_(prime_bits),
-      ac_(accumulator_.params().generator) {}
+      wit_(std::make_unique<WitnessState>()),
+      ac_(sharded_->digest()) {
+  const char* async_env = std::getenv("SLICER_WITNESS_ASYNC");
+  async_refresh_ = async_env != nullptr && async_env[0] == '1';
+}
+
+CloudServer::~CloudServer() {
+  // A background refresh holds pointers into this object's heap state;
+  // never let it outlive the owning unique_ptrs.
+  if (wit_) join_refresh();
+}
+
+void CloudServer::join_refresh() const {
+  const std::lock_guard lock(wit_->task_mu);
+  if (wit_->task.valid()) wit_->task.get();
+}
+
+void CloudServer::wait_for_witness_refresh() const { join_refresh(); }
+
+void CloudServer::set_async_witness_refresh(bool async) {
+  join_refresh();
+  async_refresh_ = async;
+}
 
 void CloudServer::apply(const UpdateOutput& update) {
   static metrics::Histogram& apply_ns =
       metrics::histogram("core.cloud.apply_ns");
   static metrics::Counter& entries_applied =
       metrics::counter("core.cloud.entries_applied");
+  static metrics::Counter& refresh_skips =
+      metrics::counter("core.cloud.apply.refresh_skips");
   const metrics::ScopedTimer timer(apply_ns);
   const trace::Span span("cloud.apply");
+
+  // One update at a time: a refresh still in flight from the previous batch
+  // must land before this batch's pre-state is captured.
+  join_refresh();
+
   for (const auto& [l, d] : update.entries) index_.put(l, d);
   entries_applied.add(update.entries.size());
-  for (const BigUint& x : update.new_primes) {
-    prime_pos_[x.to_hex()] = primes_.size();
-    primes_.push_back(x);
+
+  if (update.new_primes.empty()) {
+    // Pure data-entry update: the accumulator is untouched, so every cached
+    // witness is still exact — skip both the insert and the refresh.
+    refresh_skips.add();
+    ac_ = update.accumulator_value;
+    return;
   }
+
+  primes_.insert(primes_.end(), update.new_primes.begin(),
+                 update.new_primes.end());
+
+  // Adopt the owner-published per-shard values. Updates produced before
+  // sharding carry only the folded digest; that is only usable at K = 1,
+  // where the digest IS the single shard value.
+  std::vector<BigUint> legacy_values;
+  std::span<const BigUint> values_after = update.shard_values;
+  if (values_after.empty()) {
+    if (sharded_->shard_count() != 1)
+      throw ProtocolError("update lacks per-shard values for sharded cloud");
+    legacy_values.push_back(update.accumulator_value);
+    values_after = legacy_values;
+  }
+  adscrypto::ShardedAccumulator::Batch batch =
+      sharded_->insert_with_values(update.new_primes, values_after);
   ac_ = update.accumulator_value;
-  // Every cached witness is stale after an update. If the operator opted
-  // into precomputation, rebuild the cache against the new prime list;
-  // otherwise drop it and fall back to per-query witnesses.
-  if (witness_autorefresh_) {
-    precompute_witnesses();
+
+  if (!witness_autorefresh_) {
+    std::unique_lock lock(wit_->mu);
+    wit_->cache.clear();
+    return;
+  }
+
+  // Steal the cache: until the refreshed one commits, prove() sees a cold
+  // cache and falls back to exact on-demand witnesses — correctness never
+  // depends on the refresh having finished. The task captures stable heap
+  // pointers (not `this`), so a moved CloudServer stays safe.
+  std::vector<std::vector<BigUint>> caches;
+  {
+    std::unique_lock lock(wit_->mu);
+    caches = std::exchange(wit_->cache, {});
+  }
+  auto work = [acc = sharded_.get(), st = wit_.get(),
+               caches = std::move(caches),
+               batch = std::move(batch)]() mutable {
+    if (caches.size() == acc->shard_count()) {
+      acc->refresh_witnesses(caches, batch);
+    } else {
+      // Cache was cold (precompute never ran against this layout): build
+      // from scratch once; subsequent batches refresh incrementally.
+      caches = acc->all_witnesses();
+    }
+    std::unique_lock lock(st->mu);
+    st->cache = std::move(caches);
+  };
+  if (async_refresh_) {
+    const std::lock_guard lk(wit_->task_mu);
+    wit_->task = std::async(std::launch::async, std::move(work));
   } else {
-    witness_cache_.clear();
+    work();
   }
 }
 
@@ -93,21 +175,25 @@ TokenReply CloudServer::prove(const SearchToken& token,
       prime_preimage(token.trapdoor, token.j, token.g1, token.g2, h),
       prime_bits_);
 
-  const auto it = prime_pos_.find(x.to_hex());
-  if (it == prime_pos_.end())
+  const auto pos = sharded_->find(x);
+  if (!pos.has_value())
     throw ProtocolError("derived prime not in X: index out of sync");
 
   TokenReply reply;
   reply.encrypted_results = std::move(results);
-  // The cache may lag the prime list (it is rebuilt wholesale); any prime
-  // beyond its end gets an on-demand witness instead of a stale lookup.
-  if (it->second < witness_cache_.size()) {
-    cache_hits.add();
-    reply.witness = witness_cache_[it->second];
-  } else {
-    cache_misses.add();
-    reply.witness = accumulator_.witness(primes_, it->second);
+  // The cache may lag the prime list (a background refresh in flight steals
+  // it); any prime it does not cover gets an exact on-demand witness.
+  {
+    const std::shared_lock lock(wit_->mu);
+    if (pos->shard < wit_->cache.size() &&
+        pos->index < wit_->cache[pos->shard].size()) {
+      cache_hits.add();
+      reply.witness = wit_->cache[pos->shard][pos->index];
+      return reply;
+    }
   }
+  cache_misses.add();
+  reply.witness = sharded_->witness(*pos);
   return reply;
 }
 
@@ -133,8 +219,20 @@ void CloudServer::precompute_witnesses() {
   static metrics::Histogram& precompute_ns =
       metrics::histogram("core.cloud.precompute_witnesses_ns");
   const metrics::ScopedTimer timer(precompute_ns);
-  witness_cache_ = accumulator_.all_witnesses(primes_);
+  join_refresh();
+  auto caches = sharded_->all_witnesses();
+  {
+    std::unique_lock lock(wit_->mu);
+    wit_->cache = std::move(caches);
+  }
   witness_autorefresh_ = true;
+}
+
+bool CloudServer::witnesses_precomputed() const {
+  const std::shared_lock lock(wit_->mu);
+  for (const auto& shard_cache : wit_->cache)
+    if (!shard_cache.empty()) return true;
+  return false;
 }
 
 }  // namespace slicer::core

@@ -1,17 +1,22 @@
 // CloudServer: Algorithm 4 (Cloud.Search).
 //
-// The cloud holds the encrypted index I, the prime list X and the current
-// accumulator value. Given a search token it walks trapdoor generations
-// from newest to oldest (t_{i-1} = π_pk(t_i)), collects the encrypted
-// results, then produces the verification object: the RSA-accumulator
-// membership witness of the prime representative derived from
-// (token, multiset-hash of the results).
+// The cloud holds the encrypted index I, the prime list X (partitioned
+// across K accumulator shards) and the current accumulator digest. Given a
+// search token it walks trapdoor generations from newest to oldest
+// (t_{i-1} = π_pk(t_i)), collects the encrypted results, then produces the
+// verification object: the RSA-accumulator membership witness of the prime
+// representative derived from (token, multiset-hash of the results),
+// checked against the prime's shard.
 #pragma once
 
+#include <future>
+#include <memory>
+#include <shared_mutex>
 #include <span>
-#include <unordered_map>
+#include <vector>
 
 #include "adscrypto/accumulator.hpp"
+#include "adscrypto/sharded_accumulator.hpp"
 #include "adscrypto/trapdoor.hpp"
 #include "core/index.hpp"
 #include "core/messages.hpp"
@@ -22,12 +27,26 @@ namespace slicer::core {
 /// The cloud role.
 class CloudServer {
  public:
+  /// `shard_count` 0 resolves to the SLICER_SHARDS environment knob
+  /// (default 1 — the unsharded legacy layout). Must match the owner's.
   CloudServer(adscrypto::TrapdoorPublicKey trapdoor_pk,
               adscrypto::AccumulatorParams accumulator_params,
-              std::size_t prime_bits = 64);
+              std::size_t prime_bits = 64, std::size_t shard_count = 0);
+  ~CloudServer();
+
+  /// Move-constructible (the accumulator and witness state live behind
+  /// stable heap pointers, so an in-flight background refresh never
+  /// dangles); assignment would drop a possibly-live witness state, so it
+  /// stays deleted along with copying.
+  CloudServer(CloudServer&&) noexcept = default;
+  CloudServer& operator=(CloudServer&&) = delete;
 
   /// Applies a Build/Insert delta from the data owner: new index entries,
-  /// new primes, and the refreshed accumulator value.
+  /// new primes, and the refreshed accumulator value(s). With witness
+  /// precomputation enabled the cache is refreshed *incrementally*: every
+  /// cached witness absorbs the batch product (w' = w^P) and the new
+  /// primes' witnesses are derived from the pre-batch shard values — batch
+  /// cost, not index cost.
   void apply(const UpdateOutput& update);
 
   /// Full search: results + VO for every token.
@@ -53,32 +72,66 @@ class CloudServer {
 
   /// Restores a snapshot produced by serialize_state. Throws DecodeError on
   /// malformed input and ProtocolError when called on a non-empty cloud.
+  /// The snapshot format is shard-agnostic (flat prime list + digest); a
+  /// K > 1 cloud recomputes its shard values from the primes on restore.
   void restore_state(BytesView snapshot);
 
   /// Precomputes all membership witnesses with the product-tree algorithm;
   /// afterwards prove() is an O(1) lookup, and every subsequent apply()
-  /// rebuilds the cache against the updated prime list automatically.
+  /// refreshes the cache incrementally against the batch automatically.
   /// (Ablation C: amortized vs per-query VO generation.)
   void precompute_witnesses();
-  bool witnesses_precomputed() const { return !witness_cache_.empty(); }
+  bool witnesses_precomputed() const;
+
+  /// Opts the incremental refresh into a background pool task. apply()
+  /// returns as soon as the index and accumulator are updated; prove()
+  /// serves on-demand witnesses until the refreshed cache lands. Defaults
+  /// to synchronous (or the SLICER_WITNESS_ASYNC=1 environment knob).
+  void set_async_witness_refresh(bool async);
+
+  /// Blocks until any in-flight background witness refresh has committed.
+  void wait_for_witness_refresh() const;
 
   const EncryptedIndex& index() const { return index_; }
   const adscrypto::AccumulatorParams& accumulator_params() const {
-    return accumulator_.params();
+    return sharded_->params();
   }
+  /// The published chain digest (the raw shard value at K = 1).
   const bigint::BigUint& accumulator_value() const { return ac_; }
+  /// Per-shard accumulation values behind accumulator_value().
+  const std::vector<bigint::BigUint>& shard_values() const {
+    return sharded_->shard_values();
+  }
+  std::size_t shard_count() const { return sharded_->shard_count(); }
   std::size_t prime_count() const { return primes_.size(); }
 
  private:
+  /// Witness cache (per shard, parallel to each shard's prime list) plus
+  /// the synchronization for the optional background refresh. Boxed so
+  /// CloudServer stays movable.
+  struct WitnessState {
+    mutable std::shared_mutex mu;
+    /// Empty outer vector = cold cache; size-K outer vector = warm.
+    std::vector<std::vector<bigint::BigUint>> cache;
+    /// Serializes join_refresh() racers (future::get is single-shot).
+    std::mutex task_mu;
+    std::future<void> task;
+  };
+
+  /// Joins wit_->task if one is in flight (non-locking helper).
+  void join_refresh() const;
+
   adscrypto::TrapdoorPermutation perm_;
-  adscrypto::RsaAccumulator accumulator_;
+  /// Boxed: the background refresh task holds a pointer to the accumulator,
+  /// so its address must survive a CloudServer move.
+  std::unique_ptr<adscrypto::ShardedAccumulator> sharded_;
   std::size_t prime_bits_;
 
   EncryptedIndex index_;
-  std::vector<bigint::BigUint> primes_;                 // X
-  std::unordered_map<std::string, std::size_t> prime_pos_;  // hex → index in X
-  std::vector<bigint::BigUint> witness_cache_;          // parallel to primes_
-  bool witness_autorefresh_ = false;  // rebuild cache on apply()
+  std::vector<bigint::BigUint> primes_;  // X, flat arrival order (snapshots)
+  std::unique_ptr<WitnessState> wit_;
+  bool witness_autorefresh_ = false;  // refresh cache on apply()
+  bool async_refresh_ = false;
   bigint::BigUint ac_;
 };
 

@@ -27,15 +27,15 @@ DataOwner::DataOwner(
     adscrypto::TrapdoorSecretKey trapdoor_sk,
     adscrypto::AccumulatorParams accumulator_params,
     std::optional<adscrypto::AccumulatorTrapdoor> accumulator_trapdoor,
-    crypto::Drbg rng)
+    crypto::Drbg rng, std::size_t shard_count)
     : config_(std::move(config)),
       keys_(std::move(keys)),
       perm_(std::move(trapdoor_pk)),
       trapdoor_sk_(std::move(trapdoor_sk)),
-      accumulator_(std::move(accumulator_params)),
+      sharded_(std::move(accumulator_params), shard_count),
       accumulator_trapdoor_(std::move(accumulator_trapdoor)),
       rng_(std::move(rng)),
-      ac_(accumulator_.params().generator) {
+      ac_(sharded_.digest()) {
   if (keys_.k.size() != 32 || keys_.k_r.size() != 16)
     throw CryptoError("DataOwner: bad key sizes");
   if (config_.value_bits == 0 || config_.value_bits > sore::kMaxBits)
@@ -226,10 +226,14 @@ UpdateOutput DataOwner::ingest(
         return adscrypto::hash_to_prime(new_preimages[i], config_.prime_bits);
       });
   primes_.insert(primes_.end(), out.new_primes.begin(), out.new_primes.end());
-  ac_ = accumulator_trapdoor_.has_value()
-            ? accumulator_.accumulate(primes_, *accumulator_trapdoor_)
-            : accumulator_.accumulate(primes_);
+  if (accumulator_trapdoor_.has_value()) {
+    sharded_.insert(out.new_primes, *accumulator_trapdoor_);
+  } else {
+    sharded_.insert(out.new_primes);
+  }
+  ac_ = sharded_.digest();
   out.accumulator_value = ac_;
+  out.shard_values = sharded_.shard_values();
 
   const auto ads_end = std::chrono::steady_clock::now();
   last_stats_.index_seconds =

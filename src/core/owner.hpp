@@ -17,6 +17,7 @@
 
 #include "adscrypto/accumulator.hpp"
 #include "adscrypto/multiset_hash.hpp"
+#include "adscrypto/sharded_accumulator.hpp"
 #include "adscrypto/trapdoor.hpp"
 #include "core/messages.hpp"
 #include "core/record_cipher.hpp"
@@ -29,7 +30,11 @@ namespace slicer::core {
 struct UpdateOutput {
   std::vector<std::pair<Bytes, Bytes>> entries;   // new (l, d) index entries
   std::vector<bigint::BigUint> new_primes;        // X⁺
-  bigint::BigUint accumulator_value;              // updated Ac
+  bigint::BigUint accumulator_value;              // updated Ac (fold digest)
+  /// Per-shard accumulation values backing `accumulator_value`. One entry
+  /// per shard; a single entry equal to accumulator_value for K = 1. A
+  /// legacy consumer that only knows the folded digest can ignore this.
+  std::vector<bigint::BigUint> shard_values;
 
   /// Serialized size of the index delta: Σ(|l| + |d|).
   std::size_t entries_byte_size() const;
@@ -57,13 +62,14 @@ class DataOwner {
  public:
   /// `accumulator_trapdoor` (the factorization of the accumulator modulus)
   /// enables the fast accumulation path; pass nullopt to force the public
-  /// path.
+  /// path. `shard_count` 0 resolves to the SLICER_SHARDS environment knob
+  /// (default 1 — the unsharded legacy layout).
   DataOwner(Config config, Keys keys,
             adscrypto::TrapdoorPublicKey trapdoor_pk,
             adscrypto::TrapdoorSecretKey trapdoor_sk,
             adscrypto::AccumulatorParams accumulator_params,
             std::optional<adscrypto::AccumulatorTrapdoor> accumulator_trapdoor,
-            crypto::Drbg rng);
+            crypto::Drbg rng, std::size_t shard_count = 0);
 
   /// Algorithm 1. Throws ProtocolError if state already exists.
   UpdateOutput build(std::span<const Record> db);
@@ -77,8 +83,15 @@ class DataOwner {
   /// (data users need the newest trapdoors to form tokens).
   UserState export_user_state() const;
 
-  /// Current accumulator value Ac (what the blockchain stores).
+  /// Current accumulator value Ac (what the blockchain stores): the fold of
+  /// the per-shard accumulation values (the raw value at K = 1).
   const bigint::BigUint& accumulator_value() const { return ac_; }
+
+  /// Per-shard accumulation values behind accumulator_value().
+  const std::vector<bigint::BigUint>& shard_values() const {
+    return sharded_.shard_values();
+  }
+  std::size_t shard_count() const { return sharded_.shard_count(); }
 
   /// Full prime list X (the owner re-sends it to new clouds).
   const std::vector<bigint::BigUint>& primes() const { return primes_; }
@@ -127,7 +140,7 @@ class DataOwner {
   Keys keys_;
   adscrypto::TrapdoorPermutation perm_;
   adscrypto::TrapdoorSecretKey trapdoor_sk_;
-  adscrypto::RsaAccumulator accumulator_;
+  adscrypto::ShardedAccumulator sharded_;
   std::optional<adscrypto::AccumulatorTrapdoor> accumulator_trapdoor_;
   crypto::Drbg rng_;
 

@@ -173,6 +173,17 @@ void DataOwner::restore_state(BytesView snapshot) {
   ac_ = read_biguint(r);
   rng_ = crypto::Drbg::import_state(r.bytes());
   r.expect_end();
+  if (sharded_.shard_count() == 1) {
+    // Adopt the stored digest as the shard value; the running exponent is
+    // refolded from the full prime list on the next insert — the exact
+    // arithmetic the unsharded owner performed every insert.
+    const std::vector<bigint::BigUint> values{ac_};
+    sharded_.insert_with_values(primes_, values);
+  } else {
+    sharded_.rebuild(primes_, accumulator_trapdoor_.has_value()
+                                  ? &*accumulator_trapdoor_
+                                  : nullptr);
+  }
 }
 
 Bytes CloudServer::serialize_state() const {
@@ -206,13 +217,21 @@ void CloudServer::restore_state(BytesView snapshot) {
     prev_l = std::move(l);
   }
   const std::uint32_t n_primes = r.count(4);
-  for (std::uint32_t i = 0; i < n_primes; ++i) {
-    bigint::BigUint x = read_biguint(r);
-    prime_pos_[x.to_hex()] = primes_.size();
-    primes_.push_back(std::move(x));
-  }
+  primes_.reserve(n_primes);
+  for (std::uint32_t i = 0; i < n_primes; ++i)
+    primes_.push_back(read_biguint(r));
   ac_ = read_biguint(r);
   r.expect_end();
+  if (sharded_->shard_count() == 1) {
+    // Legacy layout: the digest IS the single shard value — adopt it
+    // verbatim, exactly as the unsharded cloud did (no recomputation).
+    const std::vector<bigint::BigUint> values{ac_};
+    sharded_->insert_with_values(primes_, values);
+  } else {
+    // The snapshot format is shard-agnostic (flat prime list + folded
+    // digest); a sharded cloud recomputes its per-shard values publicly.
+    sharded_->rebuild(primes_, nullptr);
+  }
 }
 
 }  // namespace slicer::core

@@ -4,6 +4,7 @@
 
 #include "adscrypto/hash_to_prime.hpp"
 #include "adscrypto/multiset_hash.hpp"
+#include "adscrypto/sharded_accumulator.hpp"
 #include "bigint/montgomery.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
@@ -16,11 +17,14 @@ namespace {
 
 /// Shared body of verify_reply/verify_query: recomputes the multiset hash
 /// and prime representative (served from the process-wide prime cache when
-/// the owner or cloud already derived it) and checks the witness against a
-/// caller-provided Montgomery context.
+/// the owner or cloud already derived it), routes the prime to its shard
+/// and checks the witness against a caller-provided Montgomery context. A
+/// one-element `shard_values` is the unsharded check (everything routes to
+/// shard 0).
 bool verify_reply_with(const bigint::Montgomery& mont,
-                       const bigint::BigUint& ac, const SearchToken& token,
-                       const TokenReply& reply, std::size_t prime_bits) {
+                       std::span<const bigint::BigUint> shard_values,
+                       const SearchToken& token, const TokenReply& reply,
+                       std::size_t prime_bits) {
   MultisetHash::Digest h = MultisetHash::empty();
   for (const Bytes& er : reply.encrypted_results)
     h = MultisetHash::add(h, MultisetHash::hash_element(er));
@@ -29,7 +33,8 @@ bool verify_reply_with(const bigint::Montgomery& mont,
       prime_preimage(token.trapdoor, token.j, token.g1, token.g2, h),
       prime_bits);
 
-  return adscrypto::RsaAccumulator::verify(mont, ac, x, reply.witness);
+  return adscrypto::ShardedAccumulator::verify(mont, shard_values, x,
+                                               reply.witness);
 }
 
 }  // namespace
@@ -37,12 +42,27 @@ bool verify_reply_with(const bigint::Montgomery& mont,
 bool verify_reply(const adscrypto::AccumulatorParams& params,
                   const bigint::BigUint& ac, const SearchToken& token,
                   const TokenReply& reply, std::size_t prime_bits) {
+  return verify_reply(params, std::span(&ac, 1), token, reply, prime_bits);
+}
+
+bool verify_reply(const adscrypto::AccumulatorParams& params,
+                  std::span<const bigint::BigUint> shard_values,
+                  const SearchToken& token, const TokenReply& reply,
+                  std::size_t prime_bits) {
   const bigint::Montgomery mont(params.modulus);
-  return verify_reply_with(mont, ac, token, reply, prime_bits);
+  return verify_reply_with(mont, shard_values, token, reply, prime_bits);
 }
 
 bool verify_query(const adscrypto::AccumulatorParams& params,
                   const bigint::BigUint& ac,
+                  std::span<const SearchToken> tokens,
+                  std::span<const TokenReply> replies,
+                  std::size_t prime_bits) {
+  return verify_query(params, std::span(&ac, 1), tokens, replies, prime_bits);
+}
+
+bool verify_query(const adscrypto::AccumulatorParams& params,
+                  std::span<const bigint::BigUint> shard_values,
                   std::span<const SearchToken> tokens,
                   std::span<const TokenReply> replies,
                   std::size_t prime_bits) {
@@ -59,7 +79,8 @@ bool verify_query(const adscrypto::AccumulatorParams& params,
   // the query instead of re-derived per witness.
   const bigint::Montgomery mont(params.modulus);
   for (std::size_t i = 0; i < tokens.size(); ++i) {
-    if (!verify_reply_with(mont, ac, tokens[i], replies[i], prime_bits)) {
+    if (!verify_reply_with(mont, shard_values, tokens[i], replies[i],
+                           prime_bits)) {
       failures.add();
       return false;
     }
@@ -69,6 +90,15 @@ bool verify_query(const adscrypto::AccumulatorParams& params,
 
 QueryVerification verify_query_detailed(
     const adscrypto::AccumulatorParams& params, const bigint::BigUint& ac,
+    std::span<const SearchToken> tokens, std::span<const TokenReply> replies,
+    std::size_t prime_bits) {
+  return verify_query_detailed(params, std::span(&ac, 1), tokens, replies,
+                               prime_bits);
+}
+
+QueryVerification verify_query_detailed(
+    const adscrypto::AccumulatorParams& params,
+    std::span<const bigint::BigUint> shard_values,
     std::span<const SearchToken> tokens, std::span<const TokenReply> replies,
     std::size_t prime_bits) {
   static metrics::Histogram& query_ns =
@@ -90,7 +120,8 @@ QueryVerification verify_query_detailed(
     const trace::Span token_span("verify.token");
     const auto start = std::chrono::steady_clock::now();
     TokenVerification tv;
-    tv.ok = verify_reply_with(mont, ac, tokens[i], replies[i], prime_bits);
+    tv.ok =
+        verify_reply_with(mont, shard_values, tokens[i], replies[i], prime_bits);
     tv.duration_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)

@@ -23,10 +23,25 @@ bool verify_reply(const adscrypto::AccumulatorParams& params,
                   const bigint::BigUint& ac, const SearchToken& token,
                   const TokenReply& reply, std::size_t prime_bits = 64);
 
+/// Shard-aware variant: the derived prime is routed with shard_of() and its
+/// witness checked against that shard's accumulation value. A one-element
+/// span is exactly the unsharded check above.
+bool verify_reply(const adscrypto::AccumulatorParams& params,
+                  std::span<const bigint::BigUint> shard_values,
+                  const SearchToken& token, const TokenReply& reply,
+                  std::size_t prime_bits = 64);
+
 /// Verifies a whole query (one reply per token). False on size mismatch or
 /// any failing pair — the contract refunds in that case.
 bool verify_query(const adscrypto::AccumulatorParams& params,
                   const bigint::BigUint& ac,
+                  std::span<const SearchToken> tokens,
+                  std::span<const TokenReply> replies,
+                  std::size_t prime_bits = 64);
+
+/// Shard-aware whole-query check.
+bool verify_query(const adscrypto::AccumulatorParams& params,
+                  std::span<const bigint::BigUint> shard_values,
                   std::span<const SearchToken> tokens,
                   std::span<const TokenReply> replies,
                   std::size_t prime_bits = 64);
@@ -49,6 +64,14 @@ struct QueryVerification {
 
 QueryVerification verify_query_detailed(
     const adscrypto::AccumulatorParams& params, const bigint::BigUint& ac,
+    std::span<const SearchToken> tokens, std::span<const TokenReply> replies,
+    std::size_t prime_bits = 64);
+
+/// Shard-aware detailed check (what QueryClient runs: every reply verifies
+/// against its prime's shard value).
+QueryVerification verify_query_detailed(
+    const adscrypto::AccumulatorParams& params,
+    std::span<const bigint::BigUint> shard_values,
     std::span<const SearchToken> tokens, std::span<const TokenReply> replies,
     std::size_t prime_bits = 64);
 

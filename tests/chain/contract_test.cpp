@@ -308,6 +308,166 @@ TEST_F(ContractTest, CancelUnknownQueryReverts) {
   EXPECT_FALSE(chain_.receipt_of(tx)->success);
 }
 
+// The same contract against a K = 4 deployment: the owner publishes the
+// per-shard values through UPDATE_SHARDS, on-chain verification routes each
+// reply's prime to its shard, and gas is attributed per shard.
+class ShardedContractTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kShards = 4;
+
+  ShardedContractTest()
+      : rig_(Rig::make(8, "chain-sharded", {}, kShards)),
+        chain_({Address::from_label("sealer-a")}),
+        owner_addr_(Address::from_label("data-owner")),
+        user_addr_(Address::from_label("data-user")),
+        cloud_addr_(Address::from_label("cloud")) {
+    chain_.credit(owner_addr_, 10'000'000);
+    chain_.credit(user_addr_, 10'000'000);
+    chain_.credit(cloud_addr_, 10'000'000);
+
+    rig_.ingest({{1, 42}, {2, 42}, {3, 7}, {4, 99}, {5, 130}, {6, 42}});
+
+    contract_addr_ = chain_.submit_deployment(
+        owner_addr_, std::make_unique<SlicerContract>(),
+        SlicerContract::encode_ctor(rig_.acc_params,
+                                    rig_.owner->accumulator_value(),
+                                    rig_.config.prime_bits));
+    chain_.seal_block();
+    contract_ =
+        dynamic_cast<SlicerContract*>(chain_.contract_at(contract_addr_));
+  }
+
+  /// Owner publishes the current per-shard values; returns the receipt.
+  Receipt publish_shards() {
+    const Bytes tx = chain_.submit(
+        chain_.make_tx(owner_addr_, contract_addr_, 0,
+                       encode_update_shards(rig_.owner->shard_values())));
+    chain_.seal_block();
+    return *chain_.receipt_of(tx);
+  }
+
+  bool run_paid_flow(std::uint64_t value, MatchCondition mc,
+                     bool tamper = false) {
+    const auto tokens = rig_.user->make_tokens(value, mc);
+    const Bytes qtx = chain_.submit(chain_.make_tx(
+        user_addr_, contract_addr_, 10'000, encode_submit_query(tokens)));
+    chain_.seal_block();
+    const auto query_receipt = chain_.receipt_of(qtx);
+    EXPECT_TRUE(query_receipt.has_value() && query_receipt->success);
+    Reader out(query_receipt->output);
+    const std::uint64_t query_id = out.u64();
+
+    auto replies = rig_.cloud->search(tokens);
+    if (tamper && !replies.empty() && !replies[0].encrypted_results.empty())
+      replies[0].encrypted_results.pop_back();
+    const auto proven = attach_counters(tokens, replies, rig_.config.prime_bits);
+    const Bytes rtx = chain_.submit(
+        chain_.make_tx(cloud_addr_, contract_addr_, 0,
+                       encode_submit_result(query_id, tokens, proven)));
+    chain_.seal_block();
+    const auto rr = chain_.receipt_of(rtx);
+    EXPECT_TRUE(rr.has_value() && rr->success)
+        << (rr.has_value() ? rr->revert_reason : "no receipt");
+    if (!rr.has_value() || !rr->success) return false;
+    Reader vr(rr->output);
+    return vr.u8() == 1;
+  }
+
+  Rig rig_;
+  Blockchain chain_;
+  Address owner_addr_, user_addr_, cloud_addr_, contract_addr_;
+  SlicerContract* contract_ = nullptr;
+};
+
+TEST_F(ShardedContractTest, UpdateShardsStoresValuesAndFoldedDigest) {
+  const Receipt r = publish_shards();
+  ASSERT_TRUE(r.success) << r.revert_reason;
+  EXPECT_GT(r.gas_used, 0u);
+  ASSERT_EQ(contract_->stored_shard_values().size(), kShards);
+  EXPECT_EQ(contract_->stored_shard_values(), rig_.owner->shard_values());
+  // The stored digest is the fold — exactly what the owner publishes off
+  // chain, so the two views of Ac can never diverge.
+  EXPECT_EQ(contract_->stored_ac(), rig_.owner->accumulator_value());
+}
+
+TEST_F(ShardedContractTest, ShardedResultVerifiesOnChain) {
+  ASSERT_TRUE(publish_shards().success);
+  EXPECT_TRUE(run_paid_flow(42, MatchCondition::kEqual));
+  EXPECT_TRUE(run_paid_flow(100, MatchCondition::kGreater));
+}
+
+TEST_F(ShardedContractTest, TamperedShardedResultIsRejected) {
+  ASSERT_TRUE(publish_shards().success);
+  EXPECT_FALSE(run_paid_flow(42, MatchCondition::kEqual, /*tamper=*/true));
+}
+
+TEST_F(ShardedContractTest, StaleShardValuesRejectFreshProofs) {
+  ASSERT_TRUE(publish_shards().success);
+  // New data lands off chain but the owner forgets to republish: the cloud's
+  // fresh witnesses no longer match the stored shard values.
+  rig_.ingest({{7, 42}});
+  EXPECT_FALSE(run_paid_flow(42, MatchCondition::kEqual));
+  // Republishing restores verifiability.
+  ASSERT_TRUE(publish_shards().success);
+  EXPECT_TRUE(run_paid_flow(42, MatchCondition::kEqual));
+}
+
+TEST_F(ShardedContractTest, UpdateShardsOnlyOwner) {
+  const Bytes tx = chain_.submit(
+      chain_.make_tx(user_addr_, contract_addr_, 0,
+                     encode_update_shards(rig_.owner->shard_values())));
+  chain_.seal_block();
+  const auto r = chain_.receipt_of(tx);
+  EXPECT_FALSE(r->success);
+  EXPECT_NE(r->revert_reason.find("not the owner"), std::string::npos);
+}
+
+TEST_F(ShardedContractTest, UpdateShardsRejectsOutOfRangeValues) {
+  for (const bigint::BigUint& bad :
+       {bigint::BigUint{}, rig_.acc_params.modulus}) {
+    std::vector<bigint::BigUint> values = rig_.owner->shard_values();
+    values[1] = bad;
+    const Bytes tx = chain_.submit(chain_.make_tx(
+        owner_addr_, contract_addr_, 0, encode_update_shards(values)));
+    chain_.seal_block();
+    const auto r = chain_.receipt_of(tx);
+    EXPECT_FALSE(r->success);
+    EXPECT_NE(r->revert_reason.find("out of range"), std::string::npos);
+  }
+  const Bytes empty_tx = chain_.submit(chain_.make_tx(
+      owner_addr_, contract_addr_, 0,
+      encode_update_shards(std::span<const bigint::BigUint>{})));
+  chain_.seal_block();
+  EXPECT_FALSE(chain_.receipt_of(empty_tx)->success);
+}
+
+TEST_F(ShardedContractTest, LegacyUpdateAcClearsShardView) {
+  ASSERT_TRUE(publish_shards().success);
+  ASSERT_EQ(contract_->stored_shard_values().size(), kShards);
+  const Bytes tx = chain_.submit(
+      chain_.make_tx(owner_addr_, contract_addr_, 0,
+                     encode_update_ac(bigint::BigUint(12345))));
+  chain_.seal_block();
+  ASSERT_TRUE(chain_.receipt_of(tx)->success);
+  EXPECT_TRUE(contract_->stored_shard_values().empty());
+  EXPECT_EQ(contract_->stored_ac(), bigint::BigUint(12345));
+}
+
+TEST_F(ShardedContractTest, PerShardGasScalesWithShardCount) {
+  // Publishing K values charges K per-shard stores plus the fold — strictly
+  // more than the single-slot legacy update.
+  const Receipt sharded = publish_shards();
+  ASSERT_TRUE(sharded.success);
+  const Bytes legacy_tx = chain_.submit(
+      chain_.make_tx(owner_addr_, contract_addr_, 0,
+                     encode_update_ac(rig_.owner->accumulator_value())));
+  chain_.seal_block();
+  const auto legacy = chain_.receipt_of(legacy_tx);
+  ASSERT_TRUE(legacy->success);
+  EXPECT_GT(sharded.gas_used, legacy->gas_used);
+  EXPECT_GT(sharded.gas_used, kShards * 5'000u);  // ≥ K sstore_resets
+}
+
 TEST_F(ContractTest, ProvenReplySerializeRoundTrip) {
   ProvenReply p;
   p.reply.encrypted_results = {Bytes(16, 1)};

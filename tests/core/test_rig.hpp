@@ -21,8 +21,11 @@ struct Rig {
   std::optional<CloudServer> cloud;
   std::optional<DataUser> user;
 
+  /// `shard_count` 0 resolves to the SLICER_SHARDS knob (default 1); the
+  /// same count is handed to the owner and the cloud, as deployment would.
   static Rig make(std::size_t value_bits, const std::string& seed = "rig",
-                  const std::string& attribute = {}) {
+                  const std::string& attribute = {},
+                  std::size_t shard_count = 0) {
     Rig rig;
     rig.config.value_bits = value_bits;
     rig.config.prime_bits = 64;
@@ -34,8 +37,9 @@ struct Rig {
     rig.acc_params = acc_params;
 
     rig.owner.emplace(rig.config, Keys::generate(rng), td_pk, td_sk,
-                      acc_params, acc_td, crypto::Drbg(rng.generate(32)));
-    rig.cloud.emplace(td_pk, acc_params, rig.config.prime_bits);
+                      acc_params, acc_td, crypto::Drbg(rng.generate(32)),
+                      shard_count);
+    rig.cloud.emplace(td_pk, acc_params, rig.config.prime_bits, shard_count);
     rig.user.emplace(rig.owner->export_user_state(),
                      crypto::Drbg(rng.generate(32)));
     return rig;
@@ -59,7 +63,7 @@ struct Rig {
     const auto replies = cloud->search(tokens);
     QueryOutcome out;
     out.token_count = tokens.size();
-    out.verified = verify_query(acc_params, cloud->accumulator_value(), tokens,
+    out.verified = verify_query(acc_params, cloud->shard_values(), tokens,
                                 replies, config.prime_bits);
     out.ids = user->decrypt(replies);
     std::sort(out.ids.begin(), out.ids.end());

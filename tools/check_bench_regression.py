@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Guard against gross performance regressions in the BENCH_*.json emitters.
+
+CI runs the benchmark smoke suite (SLICER_BENCH_SCALE=0.05, SLICER_THREADS=2)
+and hands the produced JSON files to this script, which compares each row's
+wall time against the committed baseline snapshot under bench/baselines/.
+
+The threshold is deliberately generous (default 5x): CI machines differ from
+the machine that seeded the baselines, and the smoke scale keeps individual
+rows small and noisy. The check exists to catch order-of-magnitude mistakes —
+an accidentally quadratic path, a dropped cache, a serialized parallel
+region — not single-digit-percent drift. Rows below --min-ms in BOTH runs
+are ignored entirely (they are timer noise at smoke scale).
+
+Two structural checks ride along:
+  * a baseline row missing from the current run fails (a silently dropped
+    benchmark looks exactly like a fixed regression),
+  * for BENCH_mixed_workload.json, insert throughput at the highest shard
+    count must stay at least --min-shard-speedup times the K=1 throughput —
+    the sharded accumulator's reason to exist.
+
+Usage: check_bench_regression.py BENCH_a.json [BENCH_b.json ...]
+           [--baseline-dir bench/baselines] [--threshold 5.0]
+           [--min-ms 5.0] [--min-shard-speedup 2.5]
+
+stdlib only — no third-party packages.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {row["name"]: row for row in doc.get("rows", [])}
+
+
+def check_file(current_path, baseline_path, args):
+    failures = []
+    current = load_rows(current_path)
+    baseline = load_rows(baseline_path)
+
+    for name, base_row in sorted(baseline.items()):
+        cur_row = current.get(name)
+        if cur_row is None:
+            failures.append(f"{name}: present in baseline but missing from run")
+            continue
+        base_ms = float(base_row.get("real_ms", 0))
+        cur_ms = float(cur_row.get("real_ms", 0))
+        if base_ms < args.min_ms and cur_ms < args.min_ms:
+            continue  # timer noise at smoke scale
+        if base_ms <= 0:
+            continue
+        ratio = cur_ms / base_ms
+        if ratio > args.threshold:
+            failures.append(
+                f"{name}: {cur_ms:.1f} ms vs baseline {base_ms:.1f} ms "
+                f"({ratio:.1f}x > {args.threshold:.1f}x)"
+            )
+    return failures
+
+
+def check_shard_speedup(current_path, args):
+    """Insert throughput must scale with the shard count."""
+    rows = load_rows(current_path)
+    by_k = {}
+    for name, row in rows.items():
+        if name.startswith("MixedWorkload/Insert/K="):
+            by_k[int(name.split("=", 1)[1])] = float(row.get("records_per_s", 0))
+    if len(by_k) < 2 or 1 not in by_k:
+        return [f"{current_path}: no MixedWorkload/Insert rows to compare"]
+    top_k = max(by_k)
+    base = by_k[1]
+    if base <= 0:
+        return [f"{current_path}: K=1 throughput is zero"]
+    speedup = by_k[top_k] / base
+    if speedup < args.min_shard_speedup:
+        return [
+            f"MixedWorkload insert throughput K={top_k} is only "
+            f"{speedup:.2f}x K=1 (< {args.min_shard_speedup:.1f}x)"
+        ]
+    print(
+        f"  shard scaling OK: K={top_k} insert throughput "
+        f"{speedup:.2f}x K=1 ({by_k[top_k]:.1f} vs {base:.1f} rec/s)"
+    )
+    return []
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files to check")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="max allowed current/baseline wall-time ratio")
+    parser.add_argument("--min-ms", type=float, default=5.0,
+                        help="ignore rows below this wall time in both runs")
+    parser.add_argument("--min-shard-speedup", type=float, default=2.5,
+                        help="min mixed-workload insert speedup at the top K")
+    args = parser.parse_args()
+
+    all_failures = []
+    for path in args.files:
+        name = os.path.basename(path)
+        baseline_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"{name}: no baseline (skipped — seed bench/baselines/ to cover it)")
+            continue
+        print(f"{name}: comparing against {baseline_path}")
+        failures = check_file(path, baseline_path, args)
+        if name == "BENCH_mixed_workload.json":
+            failures += check_shard_speedup(path, args)
+        for failure in failures:
+            print(f"  REGRESSION {failure}")
+        all_failures += failures
+
+    if all_failures:
+        print(f"\n{len(all_failures)} benchmark regression(s) found")
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
