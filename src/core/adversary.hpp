@@ -46,9 +46,14 @@ enum class Tamper {
   kForgeWitness,        ///< perturb the witness value
   kStaleReplay,         ///< replay a reply recorded before an update
   kWrongAccumulator,    ///< witness "computed" against the wrong accumulator
+  // Aggregated-VO taxonomy (QueryReply from search_aggregated):
+  kForgeAggregateWitness,   ///< perturb one shard's aggregate witness
+  kSwapAggregateWitnesses,  ///< exchange the witnesses of two shard entries
+  kDropAggregateShard,      ///< omit one touched shard's VO entry entirely
+  kStaleAggregateReplay,    ///< replay a QueryReply recorded before an update
 };
 
-/// Every taxonomy member except kNone, in declaration order.
+/// Every per-token taxonomy member except kNone, in declaration order.
 inline constexpr std::array<Tamper, 11> kAllTampers = {
     Tamper::kDropResult,     Tamper::kDuplicateResult,
     Tamper::kReorderResults, Tamper::kForgeCiphertext,
@@ -56,6 +61,20 @@ inline constexpr std::array<Tamper, 11> kAllTampers = {
     Tamper::kEmptyClaim,     Tamper::kSwapWitnesses,
     Tamper::kForgeWitness,   Tamper::kStaleReplay,
     Tamper::kWrongAccumulator,
+};
+
+/// Taxonomy members applicable to the aggregated read path: every result
+/// tamper (the digest fold is shared with the per-token path) plus the
+/// aggregate-witness operations. kSwapWitnesses / kForgeWitness /
+/// kWrongAccumulator have no per-token witness to act on here; their
+/// aggregate counterparts cover the same intent.
+inline constexpr std::array<Tamper, 11> kAggregateTampers = {
+    Tamper::kDropResult,     Tamper::kDuplicateResult,
+    Tamper::kReorderResults, Tamper::kForgeCiphertext,
+    Tamper::kTruncateCiphertext, Tamper::kInjectResult,
+    Tamper::kEmptyClaim,     Tamper::kForgeAggregateWitness,
+    Tamper::kSwapAggregateWitnesses, Tamper::kDropAggregateShard,
+    Tamper::kStaleAggregateReplay,
 };
 
 std::string_view tamper_name(Tamper t);
@@ -79,13 +98,26 @@ class MaliciousCloud {
   MaliciousCloud(const CloudServer& honest, Tamper tamper, std::uint64_t seed)
       : honest_(honest), tamper_(tamper), seed_(seed) {}
 
+  struct AggregateOutput {
+    QueryReply reply;
+    /// Same skip semantics as Output::tampered.
+    bool tampered = false;
+  };
+
   /// Honest search, then the tamper op. Deterministic in (seed, call#).
   Output search(std::span<const SearchToken> tokens) const;
+
+  /// Aggregated-VO counterpart: honest search_aggregated, then one
+  /// operation from kAggregateTampers applied to the QueryReply.
+  AggregateOutput search_aggregated(std::span<const SearchToken> tokens) const;
 
   /// Captures the honest replies for `tokens` now; a later kStaleReplay
   /// search returns them verbatim. Call before the owner's next update so
   /// the recorded accumulator/witness state is genuinely stale.
   void record_stale(std::span<const SearchToken> tokens);
+
+  /// Aggregated counterpart for kStaleAggregateReplay.
+  void record_stale_aggregated(std::span<const SearchToken> tokens);
 
   Tamper tamper() const { return tamper_; }
 
@@ -97,6 +129,7 @@ class MaliciousCloud {
   std::uint64_t seed_;
   mutable std::uint64_t draws_ = 0;
   std::vector<TokenReply> stale_;
+  QueryReply stale_agg_;
 };
 
 }  // namespace slicer::core

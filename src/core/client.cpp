@@ -24,9 +24,17 @@ void merge_detail(QueryResult& a, QueryResult& b) {
 
 }  // namespace
 
+bool default_aggregated_vo() {
+  const char* env = std::getenv("SLICER_AGGREGATE_VO");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 QueryClient::QueryClient(DataUser& user, CloudServer& cloud,
-                         std::size_t prime_bits)
-    : user_(user), cloud_(cloud), prime_bits_(prime_bits) {}
+                         std::size_t prime_bits, bool aggregated_vo)
+    : user_(user),
+      cloud_(cloud),
+      prime_bits_(prime_bits),
+      aggregated_vo_(aggregated_vo) {}
 
 QueryResult QueryClient::run(std::string_view attribute, std::uint64_t v,
                              MatchCondition mc) {
@@ -45,7 +53,6 @@ QueryResult QueryClient::run(std::string_view attribute, std::uint64_t v,
     const trace::Span token_span("client.tokens");
     tokens = user_.make_tokens(attribute, v, mc);
   }
-  const auto replies = cloud_.search(tokens);
 
   QueryResult out;
   out.token_count = tokens.size();
@@ -53,15 +60,30 @@ QueryResult QueryClient::run(std::string_view attribute, std::uint64_t v,
   // themselves must fold to the digest the chain holds, otherwise a cloud
   // could advertise arbitrary per-shard values and the whole query fails.
   const std::vector<bigint::BigUint>& shard_values = cloud_.shard_values();
-  QueryVerification verification =
-      verify_query_detailed(cloud_.accumulator_params(), shard_values, tokens,
-                            replies, prime_bits_);
   const bool fold_ok = adscrypto::fold_shard_digests(shard_values) ==
                        cloud_.accumulator_value();
-  out.verified = verification.verified && fold_ok;
-  out.tokens_verified = verification.tokens_verified;
-  out.token_detail = std::move(verification.tokens);
-  out.ids = user_.decrypt(replies);
+  if (aggregated_vo_) {
+    const QueryReply reply = cloud_.search_aggregated(tokens);
+    const bool proof_ok = verify_query_aggregated(
+        cloud_.accumulator_params(), shard_values, tokens, reply, prime_bits_);
+    out.verified = proof_ok && fold_ok;
+    // The aggregate proof is per-shard: tokens stand or fall together, and
+    // no per-token attribution (token_detail) exists in this mode.
+    out.tokens_verified = proof_ok ? tokens.size() : 0;
+    std::vector<Bytes> flat;
+    for (const auto& results : reply.token_results)
+      flat.insert(flat.end(), results.begin(), results.end());
+    out.ids = user_.decrypt_results(flat);
+  } else {
+    const auto replies = cloud_.search(tokens);
+    QueryVerification verification =
+        verify_query_detailed(cloud_.accumulator_params(), shard_values,
+                              tokens, replies, prime_bits_);
+    out.verified = verification.verified && fold_ok;
+    out.tokens_verified = verification.tokens_verified;
+    out.token_detail = std::move(verification.tokens);
+    out.ids = user_.decrypt(replies);
+  }
   std::sort(out.ids.begin(), out.ids.end());
   out.ids.erase(std::unique(out.ids.begin(), out.ids.end()), out.ids.end());
   return out;

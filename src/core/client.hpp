@@ -33,9 +33,15 @@ struct QueryResult {
   std::size_t tokens_verified = 0;  // tokens whose membership proof held
   /// Per-token verification outcome and latency, in token submission
   /// order (concatenated across the sub-queries of an interval). Empty
-  /// only for a query that needed no tokens.
+  /// for a query that needed no tokens, and in aggregated-VO mode —
+  /// there the proof is per-shard, so no per-token attribution exists.
   std::vector<TokenVerification> token_detail;
 };
+
+/// Picks the client's default VO mode from the SLICER_AGGREGATE_VO
+/// environment knob ("1" switches every QueryClient constructed without an
+/// explicit choice onto the aggregated read path).
+bool default_aggregated_vo();
 
 /// High-level query front end over one (user, cloud) pair.
 class QueryClient {
@@ -44,7 +50,13 @@ class QueryClient {
   /// cloud on every query in the local-trust mode; pass an explicit
   /// accumulator value (e.g. the one stored on chain) via the second
   /// overloads to verify against trusted state instead.
-  QueryClient(DataUser& user, CloudServer& cloud, std::size_t prime_bits = 64);
+  /// `aggregated_vo` selects the read path: false keeps the legacy
+  /// per-token search+verify; true requests one aggregate witness per
+  /// touched shard and the O(K)-modexp verify_query_aggregated check.
+  QueryClient(DataUser& user, CloudServer& cloud, std::size_t prime_bits = 64,
+              bool aggregated_vo = default_aggregated_vo());
+
+  bool aggregated_vo() const { return aggregated_vo_; }
 
   QueryResult equal(std::uint64_t v);
   QueryResult greater(std::uint64_t v);
@@ -81,6 +93,7 @@ class QueryClient {
   DataUser& user_;
   CloudServer& cloud_;
   std::size_t prime_bits_;
+  bool aggregated_vo_;
 };
 
 }  // namespace slicer::core

@@ -10,7 +10,10 @@
 #pragma once
 
 #include <future>
+#include <list>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <vector>
@@ -51,6 +54,12 @@ class CloudServer {
 
   /// Full search: results + VO for every token.
   std::vector<TokenReply> search(std::span<const SearchToken> tokens) const;
+
+  /// Aggregated search: per-token results plus ONE witness per touched
+  /// shard — the Shamir fold of the per-token witnesses, so the VO is
+  /// ≤ shard_count() group elements regardless of token count. Verified by
+  /// verify_query_aggregated; the legacy per-token search() stays intact.
+  QueryReply search_aggregated(std::span<const SearchToken> tokens) const;
 
   /// Result generation only (the Fig. 5a/5c timing component).
   std::vector<Bytes> fetch_results(const SearchToken& token) const;
@@ -118,6 +127,67 @@ class CloudServer {
     std::future<void> task;
   };
 
+  /// Hot-token proof cache: (serialized token) → everything prove derives
+  /// for it. An entry's prime/position/witness are reusable only under two
+  /// guards checked on every hit:
+  ///   * the freshly fetched result digest equals the stored one (the
+  ///     prime is H(token, digest), so a changed result set means a
+  ///     different prime — never serve the old one), and
+  ///   * for the witness/position, the entry's shard epoch equals the
+  ///     shard's current epoch. apply() bumps the epoch of every shard
+  ///     that receives new primes, which is exactly when cached witnesses
+  ///     (and in-shard indices) go stale; entry-only updates leave epochs
+  ///     alone because the digest guard already covers result changes.
+  /// Boxed (like WitnessState) so CloudServer stays movable.
+  struct ProofCache {
+    struct Entry {
+      adscrypto::MultisetHash::Digest digest{};
+      bigint::BigUint prime;
+      adscrypto::ShardedAccumulator::Pos pos;
+      std::uint64_t epoch = 0;
+      bigint::BigUint witness;
+      std::list<Bytes>::iterator lru_it;
+    };
+    mutable std::mutex mu;
+    std::size_t capacity = 0;  // 0 disables (SLICER_PROOF_CACHE knob)
+    std::list<Bytes> lru;      // front = most recently used key
+    std::map<Bytes, Entry> entries;
+    /// Per-shard batch generation (bumped by apply for shards that gained
+    /// primes; all bumped on restore_state).
+    std::vector<std::uint64_t> shard_epochs;
+  };
+
+  /// Everything prove() derives for one token — search_aggregated consumes
+  /// the parts, prove() wraps them into a TokenReply.
+  struct ProvenToken {
+    std::vector<Bytes> results;
+    bigint::BigUint prime;
+    adscrypto::ShardedAccumulator::Pos pos;
+    bigint::BigUint witness;
+  };
+
+  /// Shared body of prove()/search_aggregated(): digest, prime (proof
+  /// cache, else derived), position and witness for one token's results.
+  ProvenToken prove_parts(const SearchToken& token,
+                          std::vector<Bytes> results) const;
+
+  /// Per-query walk plan: for each token, the encoded trapdoor of every
+  /// generation it visits (newest → oldest). One trapdoor-permutation step
+  /// is computed at most once per query — tokens that walk overlapping
+  /// chains (duplicate keywords, re-submitted tokens) share the memoized
+  /// encode instead of re-running the RSA forward map per token.
+  std::vector<std::vector<Bytes>> plan_walks(
+      std::span<const SearchToken> tokens) const;
+
+  /// PRF walk of one token over its precomputed generation encodes (no
+  /// metrics — callers attribute the time).
+  std::vector<Bytes> fetch_results_walk(const SearchToken& token,
+                                        std::span<const Bytes> encodes) const;
+
+  /// Drops every proof-cache entry and advances all shard epochs (restore
+  /// replaces the accumulator state wholesale).
+  void reset_proof_cache();
+
   /// Joins wit_->task if one is in flight (non-locking helper).
   void join_refresh() const;
 
@@ -130,6 +200,7 @@ class CloudServer {
   EncryptedIndex index_;
   std::vector<bigint::BigUint> primes_;  // X, flat arrival order (snapshots)
   std::unique_ptr<WitnessState> wit_;
+  std::unique_ptr<ProofCache> pcache_;
   bool witness_autorefresh_ = false;  // refresh cache on apply()
   bool async_refresh_ = false;
   bigint::BigUint ac_;

@@ -232,6 +232,9 @@ void CloudServer::restore_state(BytesView snapshot) {
     // digest); a sharded cloud recomputes its per-shard values publicly.
     sharded_->rebuild(primes_, nullptr);
   }
+  // The accumulator state was replaced wholesale: no cached proof (prime,
+  // position or witness) from before the restore may survive it.
+  reset_proof_cache();
 }
 
 }  // namespace slicer::core

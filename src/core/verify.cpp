@@ -1,17 +1,18 @@
 #include "core/verify.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "adscrypto/hash_to_prime.hpp"
 #include "adscrypto/multiset_hash.hpp"
 #include "adscrypto/sharded_accumulator.hpp"
 #include "bigint/montgomery.hpp"
 #include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 
 namespace slicer::core {
-
-using adscrypto::MultisetHash;
 
 namespace {
 
@@ -25,14 +26,8 @@ bool verify_reply_with(const bigint::Montgomery& mont,
                        std::span<const bigint::BigUint> shard_values,
                        const SearchToken& token, const TokenReply& reply,
                        std::size_t prime_bits) {
-  MultisetHash::Digest h = MultisetHash::empty();
-  for (const Bytes& er : reply.encrypted_results)
-    h = MultisetHash::add(h, MultisetHash::hash_element(er));
-
-  const bigint::BigUint x = adscrypto::hash_to_prime(
-      prime_preimage(token.trapdoor, token.j, token.g1, token.g2, h),
-      prime_bits);
-
+  const bigint::BigUint x = token_prime(
+      token, results_digest(reply.encrypted_results), prime_bits);
   return adscrypto::ShardedAccumulator::verify(mont, shard_values, x,
                                                reply.witness);
 }
@@ -135,6 +130,115 @@ QueryVerification verify_query_detailed(
     out.tokens.push_back(tv);
   }
   out.verified = out.tokens_verified == tokens.size();
+  return out;
+}
+
+bool verify_query_aggregated(const adscrypto::AccumulatorParams& params,
+                             const bigint::BigUint& ac,
+                             std::span<const SearchToken> tokens,
+                             const QueryReply& reply, std::size_t prime_bits) {
+  return verify_query_aggregated(params, std::span(&ac, 1), tokens, reply,
+                                 prime_bits);
+}
+
+bool verify_query_aggregated(const adscrypto::AccumulatorParams& params,
+                             std::span<const bigint::BigUint> shard_values,
+                             std::span<const SearchToken> tokens,
+                             const QueryReply& reply, std::size_t prime_bits) {
+  return verify_query_aggregated_detailed(params, shard_values, tokens, reply,
+                                          prime_bits)
+      .verified;
+}
+
+AggregateVerification verify_query_aggregated_detailed(
+    const adscrypto::AccumulatorParams& params,
+    std::span<const bigint::BigUint> shard_values,
+    std::span<const SearchToken> tokens, const QueryReply& reply,
+    std::size_t prime_bits) {
+  static metrics::Histogram& query_ns =
+      metrics::histogram("core.verify.aggregate_query_ns");
+  static metrics::Counter& shard_checks =
+      metrics::counter("core.verify.aggregate_shard_checks");
+  static metrics::Counter& failures =
+      metrics::counter("core.verify.aggregate_failures");
+  const metrics::ScopedTimer timer(query_ns);
+  const trace::Span span("verify.aggregate");
+
+  AggregateVerification out;
+  out.tokens = tokens.size();
+  if (reply.token_results.size() != tokens.size() || shard_values.empty()) {
+    failures.add();
+    return out;
+  }
+  if (tokens.empty()) {
+    // No tokens, no touched shards: a VO entry for an untouched shard is a
+    // forgery, not an optimization.
+    out.verified = reply.witnesses.empty();
+    if (!out.verified) failures.add();
+    return out;
+  }
+
+  // Every token's prime re-derived from ITS OWN result list — digest fold
+  // plus hash_to_prime are independent per token, so they fan out on the
+  // pool.
+  const std::vector<bigint::BigUint> primes =
+      ThreadPool::instance().parallel_map<bigint::BigUint>(
+          tokens.size(), [&](std::size_t i) {
+            return token_prime(tokens[i],
+                               results_digest(reply.token_results[i]),
+                               prime_bits);
+          });
+
+  // Route each prime with the verifier's OWN shard_of — trusting a
+  // cloud-claimed routing would let it move a prime to a shard whose value
+  // it can satisfy. Duplicate primes (identical tokens) fold once, exactly
+  // as the proving side folds them.
+  const std::size_t k = shard_values.size();
+  std::vector<std::vector<bigint::BigUint>> buckets(k);
+  for (const bigint::BigUint& x : primes) {
+    std::vector<bigint::BigUint>& bucket =
+        buckets[adscrypto::shard_of(x, k)];
+    if (std::find(bucket.begin(), bucket.end(), x) == bucket.end())
+      bucket.push_back(x);
+  }
+
+  // The witness list must cover exactly the touched shards, each once, in
+  // strictly ascending order: extra entries, missing entries, duplicates
+  // and misordered lists all fail before any modexp is spent.
+  bool shape_ok = true;
+  std::vector<bool> covered(k, false);
+  for (std::size_t i = 0; i < reply.witnesses.size() && shape_ok; ++i) {
+    const AggregateWitness& aw = reply.witnesses[i];
+    if (aw.shard >= k || buckets[aw.shard].empty() ||
+        (i > 0 && aw.shard <= reply.witnesses[i - 1].shard))
+      shape_ok = false;
+    else
+      covered[aw.shard] = true;
+  }
+  for (std::size_t s = 0; s < k && shape_ok; ++s)
+    if (!buckets[s].empty() && !covered[s]) shape_ok = false;
+  if (!shape_ok) {
+    failures.add();
+    return out;
+  }
+
+  // One modexp per touched shard, all sharing one Montgomery context,
+  // fanned out on the pool — the O(K) replacement for O(tokens) checks.
+  const bigint::Montgomery mont(params.modulus);
+  const std::vector<char> oks = ThreadPool::instance().parallel_map<char>(
+      reply.witnesses.size(), [&](std::size_t i) {
+        const AggregateWitness& aw = reply.witnesses[i];
+        return adscrypto::ShardedAccumulator::verify_aggregate(
+                   mont, shard_values, aw.shard, buckets[aw.shard],
+                   aw.witness)
+                   ? char{1}
+                   : char{0};
+      });
+  out.shard_checks = reply.witnesses.size();
+  shard_checks.add(out.shard_checks);
+  out.verified = std::all_of(oks.begin(), oks.end(),
+                             [](char ok) { return ok != 0; });
+  if (!out.verified) failures.add();
   return out;
 }
 

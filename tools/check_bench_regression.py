@@ -12,16 +12,27 @@ an accidentally quadratic path, a dropped cache, a serialized parallel
 region — not single-digit-percent drift. Rows below --min-ms in BOTH runs
 are ignored entirely (they are timer noise at smoke scale).
 
-Two structural checks ride along:
+Structural checks ride along:
   * a baseline row missing from the current run fails (a silently dropped
     benchmark looks exactly like a fixed regression),
   * for BENCH_mixed_workload.json, insert throughput at the highest shard
     count must stay at least --min-shard-speedup times the K=1 throughput —
-    the sharded accumulator's reason to exist.
+    the sharded accumulator's reason to exist,
+  * for BENCH_fig6_search_overhead.json, every Fig6/VerifyAggregated row
+    must ship no more witnesses than shards, strictly fewer VO bytes than
+    its Fig6/VerifyPerToken counterpart (the aggregation's deterministic
+    win: one group element per touched shard instead of one per token),
+    and report aggregate_speedup >= --min-aggregate-speedup. The speedup
+    floor is a noise-margin "don't lose" guard (default 0.9), not a
+    performance claim: folding K tokens into one witness per shard leaves
+    the verifier's total squaring count unchanged (the exponent bits just
+    concatenate), so wall-time parity is expected — the bandwidth saving
+    is the point, and it is checked exactly.
 
 Usage: check_bench_regression.py BENCH_a.json [BENCH_b.json ...]
            [--baseline-dir bench/baselines] [--threshold 5.0]
            [--min-ms 5.0] [--min-shard-speedup 2.5]
+           [--min-aggregate-speedup 1.0]
 
 stdlib only — no third-party packages.
 """
@@ -89,6 +100,56 @@ def check_shard_speedup(current_path, args):
     return []
 
 
+def check_aggregate_speedup(current_path, args):
+    """Aggregated VO must shrink the proof and not lose verify time."""
+    rows = load_rows(current_path)
+    agg_rows = {
+        name: row
+        for name, row in rows.items()
+        if name.startswith("Fig6/VerifyAggregated/")
+    }
+    if not agg_rows:
+        return [f"{current_path}: no Fig6/VerifyAggregated rows to check"]
+    failures = []
+    for name, row in sorted(agg_rows.items()):
+        speedup = float(row.get("aggregate_speedup", 0))
+        witnesses = float(row.get("witnesses", 0))
+        shards = float(row.get("shard_count", 0))
+        vo_bytes = float(row.get("vo_B", 0))
+        per_token = rows.get(
+            name.replace("Fig6/VerifyAggregated/", "Fig6/VerifyPerToken/")
+        )
+        row_failures = []
+        if speedup < args.min_aggregate_speedup:
+            row_failures.append(
+                f"{name}: aggregate_speedup {speedup:.2f}x "
+                f"< {args.min_aggregate_speedup:.1f}x"
+            )
+        if shards > 0 and witnesses > shards:
+            row_failures.append(
+                f"{name}: {witnesses:.0f} witnesses for {shards:.0f} shards "
+                "(aggregation must ship at most one per shard)"
+            )
+        if per_token is None:
+            row_failures.append(f"{name}: missing per-token counterpart row")
+        else:
+            per_token_vo = float(per_token.get("vo_B", 0))
+            if per_token.get("avg_tokens", 0) > shards and vo_bytes >= per_token_vo:
+                row_failures.append(
+                    f"{name}: aggregated VO is {vo_bytes:.0f} B vs "
+                    f"{per_token_vo:.0f} B per-token — aggregation must "
+                    "shrink the proof when tokens outnumber shards"
+                )
+        if not row_failures:
+            print(
+                f"  aggregate verify OK: {name} {speedup:.2f}x per-token, "
+                f"{witnesses:.0f}/{shards:.0f} witnesses, "
+                f"VO {vo_bytes:.0f} B"
+            )
+        failures += row_failures
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="+", help="BENCH_*.json files to check")
@@ -99,6 +160,9 @@ def main():
                         help="ignore rows below this wall time in both runs")
     parser.add_argument("--min-shard-speedup", type=float, default=2.5,
                         help="min mixed-workload insert speedup at the top K")
+    parser.add_argument("--min-aggregate-speedup", type=float, default=0.9,
+                        help="min fig6 aggregated-vs-per-token verify speedup "
+                             "(noise-margin parity guard, not a perf claim)")
     args = parser.parse_args()
 
     all_failures = []
@@ -112,6 +176,8 @@ def main():
         failures = check_file(path, baseline_path, args)
         if name == "BENCH_mixed_workload.json":
             failures += check_shard_speedup(path, args)
+        if name == "BENCH_fig6_search_overhead.json":
+            failures += check_aggregate_speedup(path, args)
         for failure in failures:
             print(f"  REGRESSION {failure}")
         all_failures += failures
