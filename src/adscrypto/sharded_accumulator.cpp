@@ -1,8 +1,7 @@
 #include "adscrypto/sharded_accumulator.hpp"
 
-#include <cstdlib>
-
 #include "adscrypto/multiset_hash.hpp"
+#include "common/env.hpp"
 #include "common/errors.hpp"
 #include "common/metrics.hpp"
 #include "common/serial.hpp"
@@ -14,14 +13,9 @@ using bigint::BigUint;
 using bigint::Montgomery;
 
 std::size_t default_shard_count() {
-  const char* env = std::getenv("SLICER_SHARDS");
-  if (env == nullptr || *env == '\0') return 1;
-  char* end = nullptr;
-  const unsigned long parsed = std::strtoul(env, &end, 10);
-  if (end == env || *end != '\0' || parsed == 0) return 1;
   // 256 shards is already far past the useful range for one process; the
   // clamp keeps a typo from allocating thousands of Montgomery contexts.
-  return parsed > 256 ? 256 : static_cast<std::size_t>(parsed);
+  return env::size_knob("SLICER_SHARDS", 1, 1, 256);
 }
 
 std::size_t shard_of(const BigUint& x, std::size_t shard_count) {

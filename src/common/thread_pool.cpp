@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 
+#include "common/env.hpp"
 #include "common/metrics.hpp"
 
 namespace slicer {
@@ -19,12 +19,8 @@ thread_local int serial_depth = 0;
 std::atomic<ThreadPool*> pool_override{nullptr};
 
 std::size_t configured_threads() {
-  if (const char* env = std::getenv("SLICER_THREADS")) {
-    const long v = std::atol(env);
-    if (v >= 1) return static_cast<std::size_t>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return env::size_knob("SLICER_THREADS", hw == 0 ? 1 : hw, 1, 4096);
 }
 
 /// Shared state of one parallel_for: an index dispenser plus completion
@@ -167,6 +163,18 @@ void ThreadPool::parallel_for(std::size_t n,
   std::unique_lock<std::mutex> lock(job->m);
   job->cv.wait(lock, [&job] { return job->done.load() == job->n; });
   if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  static metrics::Counter& submitted =
+      metrics::counter("common.thread_pool.tasks_submitted");
+  submitted.add();
+  if (workers_.empty()) {
+    // A single-lane pool has nobody to hand the task to: run it here, now.
+    task();
+    return;
+  }
+  enqueue_helpers(1, task);
 }
 
 void ThreadPool::invoke2(const std::function<void()>& a,

@@ -73,6 +73,15 @@ class ThreadPool {
   /// Fork-join of two thunks (the all_witnesses recursion splitter).
   void invoke2(const std::function<void()>& a, const std::function<void()>& b);
 
+  /// Enqueues one standalone fire-and-forget closure (the network server's
+  /// request-dispatch primitive). FIFO with parallel_for helpers on the
+  /// same queue. A pool with no workers (SLICER_THREADS=1) executes the
+  /// task inline on the calling thread before returning — submit() then
+  /// degenerates to a synchronous call, which keeps the single-thread
+  /// configuration exactly as deterministic as it is for parallel_for.
+  /// The destructor drains the queue, so every submitted task runs.
+  void submit(std::function<void()> task);
+
   /// RAII guard forcing every parallel_for issued from the current thread
   /// (and the regions nested inside it) to run inline — the exact
   /// SLICER_THREADS=1 code path. Benchmarks use it to time the serial

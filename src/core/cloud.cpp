@@ -7,6 +7,7 @@
 
 #include "adscrypto/hash_to_prime.hpp"
 #include "adscrypto/multiset_hash.hpp"
+#include "common/env.hpp"
 #include "common/errors.hpp"
 #include "common/fault.hpp"
 #include "common/metrics.hpp"
@@ -23,12 +24,7 @@ namespace {
 /// SLICER_PROOF_CACHE: max hot-token proof cache entries (default 1024,
 /// 0 disables the cache entirely).
 std::size_t proof_cache_capacity() {
-  const char* env = std::getenv("SLICER_PROOF_CACHE");
-  if (env == nullptr || *env == '\0') return 1024;
-  char* end = nullptr;
-  const unsigned long parsed = std::strtoul(env, &end, 10);
-  if (end == env || *end != '\0') return 1024;
-  return static_cast<std::size_t>(parsed);
+  return env::size_knob("SLICER_PROOF_CACHE", 1024, 0, 1u << 20);
 }
 
 }  // namespace

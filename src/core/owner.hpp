@@ -38,6 +38,15 @@ struct UpdateOutput {
 
   /// Serialized size of the index delta: Σ(|l| + |d|).
   std::size_t entries_byte_size() const;
+
+  /// Canonical wire codec (the net-layer APPLY payload): entries in emit
+  /// order, minimal big-integer encodings, count bounds before any
+  /// allocation, no trailing bytes. A decoded update re-serializes
+  /// byte-identically.
+  Bytes serialize() const;
+  static UpdateOutput deserialize(BytesView data);
+
+  bool operator==(const UpdateOutput&) const = default;
 };
 
 /// Per-keyword trapdoor state (t_j, j) — the dictionary T.

@@ -84,6 +84,44 @@ std::map<std::string, TrapdoorState> read_trapdoor_states(Reader& r) {
 
 }  // namespace
 
+Bytes UpdateOutput::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [l, d] : entries) {
+    w.bytes(l);
+    w.bytes(d);
+  }
+  w.u32(static_cast<std::uint32_t>(new_primes.size()));
+  for (const auto& x : new_primes) w.bytes(x.to_bytes_be());
+  w.bytes(accumulator_value.to_bytes_be());
+  w.u32(static_cast<std::uint32_t>(shard_values.size()));
+  for (const auto& v : shard_values) w.bytes(v.to_bytes_be());
+  return std::move(w).take();
+}
+
+UpdateOutput UpdateOutput::deserialize(BytesView data) {
+  Reader r(data);
+  UpdateOutput out;
+  const std::uint32_t n_entries = r.count(8);  // two length prefixes
+  out.entries.reserve(n_entries);
+  for (std::uint32_t i = 0; i < n_entries; ++i) {
+    Bytes l = r.bytes();
+    Bytes d = r.bytes();
+    out.entries.emplace_back(std::move(l), std::move(d));
+  }
+  const std::uint32_t n_primes = r.count(4);
+  out.new_primes.reserve(n_primes);
+  for (std::uint32_t i = 0; i < n_primes; ++i)
+    out.new_primes.push_back(read_biguint(r));
+  out.accumulator_value = read_biguint(r);
+  const std::uint32_t n_shards = r.count(4);
+  out.shard_values.reserve(n_shards);
+  for (std::uint32_t i = 0; i < n_shards; ++i)
+    out.shard_values.push_back(read_biguint(r));
+  r.expect_end();
+  return out;
+}
+
 Bytes serialize_user_state(const UserState& state) {
   Writer w;
   write_header(w, kUserTag);

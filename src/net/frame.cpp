@@ -1,0 +1,64 @@
+#include "net/frame.hpp"
+
+#include "common/errors.hpp"
+#include "common/serial.hpp"
+
+namespace slicer::net {
+
+namespace {
+
+/// Parses and bounds-checks the length field. `length` counts the opcode
+/// byte plus the payload, so the valid range is [1, max_frame_bytes].
+std::size_t checked_length(std::uint32_t length, std::size_t max_frame_bytes) {
+  if (length == 0) throw DecodeError("frame length 0 (missing opcode)");
+  if (length > max_frame_bytes)
+    throw DecodeError("frame length " + std::to_string(length) +
+                      " exceeds the " + std::to_string(max_frame_bytes) +
+                      "-byte bound");
+  return length;
+}
+
+}  // namespace
+
+Bytes encode_frame(std::uint8_t opcode, BytesView payload,
+                   std::size_t max_frame_bytes) {
+  if (payload.size() + 1 > max_frame_bytes)
+    throw DecodeError("frame payload exceeds the frame-size bound");
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(payload.size() + 1));
+  w.u8(opcode);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Frame decode_frame(BytesView data, std::size_t max_frame_bytes) {
+  Reader r(data);
+  const std::size_t length = checked_length(r.u32(), max_frame_bytes);
+  Frame out;
+  out.opcode = r.u8();
+  out.payload = r.raw(length - 1);
+  r.expect_end();  // a standalone frame buffer may carry nothing after it
+  return out;
+}
+
+void FrameDecoder::feed(BytesView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buf_.size() < 4) return std::nullopt;
+  std::uint32_t raw_length = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    raw_length = (raw_length << 8) | buf_[i];
+  // Validate the length before waiting for the body: an oversized frame is
+  // rejected as soon as its header arrives, not after buffering 4 GiB.
+  const std::size_t length = checked_length(raw_length, max_frame_bytes_);
+  if (buf_.size() < 4 + length) return std::nullopt;
+  Frame out;
+  out.opcode = buf_[4];
+  out.payload.assign(buf_.begin() + 5, buf_.begin() + 4 + length);
+  buf_.erase(buf_.begin(), buf_.begin() + 4 + length);
+  return out;
+}
+
+}  // namespace slicer::net

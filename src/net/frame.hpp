@@ -1,0 +1,77 @@
+// Length-prefixed binary framing for the Slicer wire protocol.
+//
+// One frame on the wire is
+//
+//   u32 length | u8 opcode | payload
+//
+// where `length` (big-endian, like every integer in common/serial) counts
+// everything after itself — the opcode byte plus the payload — so
+// `length == 1 + payload.size()`. The decoder is strict in both directions:
+//   * a declared length of 0 (no opcode) or above the configured bound is a
+//     DecodeError before any allocation happens — a forged length field can
+//     never pick the reserve() size;
+//   * decode_frame() on a standalone buffer rejects trailing bytes after
+//     the framed payload, the same top-level rule every message codec in
+//     common/serial enforces.
+// Payload *content* is not interpreted here; the per-opcode codecs in
+// net/protocol.hpp apply their own strict decoding (including their own
+// trailing-byte checks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace slicer::net {
+
+/// Frame header size on the wire: the u32 length plus the opcode byte.
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+/// Default bound on `length` (opcode + payload). 64 MiB comfortably holds
+/// the largest legitimate message (a bulk APPLY delta) while keeping a
+/// forged length from looking like a 4 GiB allocation request.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// One decoded frame.
+struct Frame {
+  std::uint8_t opcode = 0;
+  Bytes payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// Encodes (opcode, payload) as one wire frame. Throws DecodeError when the
+/// frame would exceed `max_frame_bytes`.
+Bytes encode_frame(std::uint8_t opcode, BytesView payload,
+                   std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Strict single-frame decode: the buffer must contain exactly one frame —
+/// a short buffer or trailing bytes after the framed payload both throw
+/// DecodeError.
+Frame decode_frame(BytesView data,
+                   std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Incremental decoder over a TCP byte stream: feed() appends received
+/// bytes, next() yields completed frames in order. A malformed length
+/// (zero, or above the bound) throws DecodeError immediately — the stream
+/// cannot be resynchronized after that, so connections close on it.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(BytesView data);
+
+  /// The next completed frame, or nullopt when more bytes are needed.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  Bytes buf_;
+};
+
+}  // namespace slicer::net

@@ -1,0 +1,151 @@
+// Per-opcode payload codecs of the Slicer wire protocol.
+//
+// The protocol reuses the canonical serialization from common/serial for
+// every payload, so the bytes a CloudServer reply occupies on the wire are
+// exactly the bytes the in-process codecs produce — the multiset-hash and
+// prime-representative recomputation on the verifier side cannot drift
+// between deployment modes. Requests occupy the low opcode range, replies
+// set the high bit of their request's opcode, and kError is the one shared
+// failure reply. Every decoder is strict: count bounds before allocation,
+// minimal big-integer encodings (inherited from the message codecs), and a
+// trailing-byte check on each top-level payload.
+//
+// A connection starts with HELLO (protocol magic + tenant id); everything
+// else on that connection addresses the tenant's database. Versioning is
+// carried by the magic string — a server that does not recognise it
+// replies kError/"hello" and closes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "core/owner.hpp"
+#include "net/frame.hpp"
+
+namespace slicer::net {
+
+/// Protocol magic carried in the HELLO payload (bump on breaking change).
+inline constexpr std::string_view kProtocolMagic = "slicer.net.v1";
+
+/// Wire opcodes. Replies = request | 0x80.
+enum class Op : std::uint8_t {
+  kHello = 0x01,
+  kApply = 0x02,
+  kSearch = 0x03,
+  kSearchAggregated = 0x04,
+  kFetch = 0x05,
+  kProve = 0x06,
+  kPing = 0x07,
+
+  kHelloOk = 0x81,
+  kApplyOk = 0x82,
+  kSearchReply = 0x83,
+  kSearchAggregatedReply = 0x84,
+  kFetchReply = 0x85,
+  kProveReply = 0x86,
+  kPong = 0x87,
+
+  kError = 0xEE,
+};
+
+/// The reply opcode a request expects.
+constexpr Op reply_op(Op request) {
+  return static_cast<Op>(static_cast<std::uint8_t>(request) | 0x80);
+}
+
+std::string_view op_name(Op op);
+
+// --- payload structs (each with a canonical codec) ----------------------
+
+/// First frame on every connection: protocol magic + tenant id.
+struct HelloRequest {
+  std::string tenant;
+
+  Bytes serialize() const;
+  static HelloRequest deserialize(BytesView data);
+  bool operator==(const HelloRequest&) const = default;
+};
+
+/// The server's HELLO acknowledgement: the tenant echoed back plus the
+/// shape of its database (so a client can sanity-check shard agreement
+/// before issuing queries).
+struct HelloReply {
+  std::string tenant;
+  std::uint32_t shard_count = 1;
+  std::uint64_t prime_count = 0;
+
+  Bytes serialize() const;
+  static HelloReply deserialize(BytesView data);
+  bool operator==(const HelloReply&) const = default;
+};
+
+/// APPLY carries a core::UpdateOutput verbatim (its own canonical codec);
+/// the reply reports the tenant's post-apply prime count (an idempotency
+/// fingerprint the caller can compare across retries).
+struct ApplyReply {
+  std::uint64_t prime_count = 0;
+
+  Bytes serialize() const;
+  static ApplyReply deserialize(BytesView data);
+  bool operator==(const ApplyReply&) const = default;
+};
+
+/// SEARCH / SEARCH_AGGREGATED request: the query's token list.
+struct SearchRequest {
+  std::vector<core::SearchToken> tokens;
+
+  Bytes serialize() const;
+  static SearchRequest deserialize(BytesView data);
+  bool operator==(const SearchRequest&) const = default;
+};
+
+/// SEARCH reply: one TokenReply per token, in submission order.
+struct SearchReply {
+  std::vector<core::TokenReply> replies;
+
+  Bytes serialize() const;
+  static SearchReply deserialize(BytesView data);
+};
+
+/// FETCH request: one token (results only, no VO — the Fig. 5a/5c split).
+struct FetchRequest {
+  core::SearchToken token;
+
+  Bytes serialize() const;
+  static FetchRequest deserialize(BytesView data);
+  bool operator==(const FetchRequest&) const = default;
+};
+
+/// FETCH reply: the token's encrypted results in traversal order.
+struct FetchReply {
+  std::vector<Bytes> results;
+
+  Bytes serialize() const;
+  static FetchReply deserialize(BytesView data);
+  bool operator==(const FetchReply&) const = default;
+};
+
+/// PROVE request: a token plus the (possibly re-ordered) results to prove.
+struct ProveRequest {
+  core::SearchToken token;
+  std::vector<Bytes> results;
+
+  Bytes serialize() const;
+  static ProveRequest deserialize(BytesView data);
+  bool operator==(const ProveRequest&) const = default;
+};
+
+/// The kError payload: a stable machine-readable code ("decode",
+/// "protocol", "busy", "hello", "internal") plus a human-readable message.
+struct ErrorReply {
+  std::string code;
+  std::string message;
+
+  Bytes serialize() const;
+  static ErrorReply deserialize(BytesView data);
+  bool operator==(const ErrorReply&) const = default;
+};
+
+}  // namespace slicer::net

@@ -1,0 +1,516 @@
+#include "net/server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "net/protocol.hpp"
+
+namespace slicer::net {
+
+namespace {
+
+struct ServerMetrics {
+  metrics::Counter& accepted = metrics::counter("net.server.connections_accepted");
+  metrics::Counter& rejected = metrics::counter("net.server.connections_rejected");
+  metrics::Counter& frames_received = metrics::counter("net.server.frames_received");
+  metrics::Counter& frames_sent = metrics::counter("net.server.frames_sent");
+  metrics::Counter& requests_dispatched =
+      metrics::counter("net.server.requests_dispatched");
+  metrics::Counter& errors_sent = metrics::counter("net.server.errors_sent");
+  metrics::Counter& decode_errors = metrics::counter("net.server.decode_errors");
+  metrics::Gauge& active_connections =
+      metrics::gauge("net.server.active_connections");
+  metrics::Gauge& dispatch_inflight = metrics::gauge("net.server.dispatch_inflight");
+  metrics::Histogram& decode_ns = metrics::histogram("net.server.decode_ns");
+  metrics::Histogram& handle_ns = metrics::histogram("net.server.handle_ns");
+  metrics::Histogram& request_ns = metrics::histogram("net.server.request_ns");
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m;
+  return m;
+}
+
+Bytes error_frame(std::string_view code, std::string_view message,
+                  std::size_t max_frame_bytes) {
+  ErrorReply reply;
+  reply.code = std::string(code);
+  reply.message = std::string(message);
+  server_metrics().errors_sent.add();
+  return encode_frame(static_cast<std::uint8_t>(Op::kError), reply.serialize(),
+                      max_frame_bytes);
+}
+
+}  // namespace
+
+/// One registered tenant: its database plus the reader/writer lock that
+/// lets concurrent searches coexist with exclusive APPLY batches.
+struct SlicerServer::Tenant {
+  std::unique_ptr<core::CloudServer> cloud;
+  std::shared_mutex mu;
+};
+
+/// One live connection. The reader thread owns decode + dispatch; replies
+/// are staged under `mu` keyed by their request sequence number, and the
+/// writer thread drains them strictly in sequence order.
+struct SlicerServer::Connection {
+  std::uint64_t id = 0;
+  Socket sock;
+  Tenant* tenant = nullptr;  // bound by the HELLO frame
+
+  std::mutex mu;
+  std::condition_variable cv;
+  /// seq → staged reply frame; the writer sends seq `next_to_send` only.
+  std::map<std::uint64_t, Bytes> staged;
+  std::uint64_t next_seq = 0;
+  std::uint64_t next_to_send = 0;
+  /// Requests dispatched to the pool whose reply is not yet staged.
+  std::size_t pending = 0;
+  /// Reader exited: no more requests will be staged.
+  bool reads_done = false;
+  /// Hard abort (send failure / server stop): writer drops staged replies.
+  bool aborted = false;
+
+  std::thread reader;
+  std::thread writer;
+  std::atomic<bool> finished{false};  // both threads exited; reapable
+
+  void stage_reply(std::uint64_t seq, Bytes frame) {
+    {
+      std::lock_guard lock(mu);
+      staged.emplace(seq, std::move(frame));
+      if (pending > 0) --pending;
+    }
+    cv.notify_all();
+  }
+};
+
+struct SlicerServer::Impl {
+  ServerConfig config;
+  FrameTamper tamper;
+
+  std::map<std::string, std::unique_ptr<Tenant>> tenants;
+
+  std::unique_ptr<ListenSocket> listener;
+  std::thread acceptor;
+  std::atomic<bool> stopping{false};
+  bool started = false;
+
+  mutable std::mutex conns_mu;
+  std::map<std::uint64_t, std::shared_ptr<Connection>> conns;
+  std::uint64_t next_conn_id = 0;
+
+  /// Admission slots for pool dispatch (SLICER_NET_THREADS).
+  std::mutex slots_mu;
+  std::condition_variable slots_cv;
+  std::size_t slots_free = 0;
+
+  /// Dispatched handlers still running (stop() drains to zero before
+  /// tearing down connections/tenants the handlers reference).
+  std::mutex inflight_mu;
+  std::condition_variable inflight_cv;
+  std::size_t inflight = 0;
+
+  // --- admission ---------------------------------------------------------
+
+  bool acquire_slot() {
+    std::unique_lock lock(slots_mu);
+    slots_cv.wait(lock,
+                  [&] { return slots_free > 0 || stopping.load(); });
+    if (stopping.load()) return false;
+    --slots_free;
+    return true;
+  }
+
+  void release_slot() {
+    {
+      std::lock_guard lock(slots_mu);
+      ++slots_free;
+    }
+    slots_cv.notify_one();
+  }
+
+  // --- request handling --------------------------------------------------
+
+  /// Decodes + executes one non-HELLO request against the connection's
+  /// tenant. Returns the reply frame (success or kError payload).
+  Bytes handle_request(Tenant& tenant, const Frame& frame) {
+    trace::Span span("net.server.handle");
+    metrics::ScopedTimer timer(server_metrics().handle_ns);
+    const auto op = static_cast<Op>(frame.opcode);
+    const std::uint8_t reply = static_cast<std::uint8_t>(reply_op(op));
+    const std::size_t max = config.max_frame_bytes;
+    try {
+      switch (op) {
+        case Op::kPing:
+          return encode_frame(reply, BytesView{}, max);
+        case Op::kApply: {
+          const core::UpdateOutput update =
+              core::UpdateOutput::deserialize(frame.payload);
+          std::unique_lock lock(tenant.mu);
+          tenant.cloud->apply(update);
+          ApplyReply out;
+          out.prime_count = tenant.cloud->prime_count();
+          return encode_frame(reply, out.serialize(), max);
+        }
+        case Op::kSearch: {
+          const SearchRequest req = SearchRequest::deserialize(frame.payload);
+          std::shared_lock lock(tenant.mu);
+          SearchReply out;
+          out.replies = tenant.cloud->search(req.tokens);
+          return encode_frame(reply, out.serialize(), max);
+        }
+        case Op::kSearchAggregated: {
+          const SearchRequest req = SearchRequest::deserialize(frame.payload);
+          std::shared_lock lock(tenant.mu);
+          const core::QueryReply out =
+              tenant.cloud->search_aggregated(req.tokens);
+          return encode_frame(reply, out.serialize(), max);
+        }
+        case Op::kFetch: {
+          const FetchRequest req = FetchRequest::deserialize(frame.payload);
+          std::shared_lock lock(tenant.mu);
+          FetchReply out;
+          out.results = tenant.cloud->fetch_results(req.token);
+          return encode_frame(reply, out.serialize(), max);
+        }
+        case Op::kProve: {
+          ProveRequest req = ProveRequest::deserialize(frame.payload);
+          std::shared_lock lock(tenant.mu);
+          const core::TokenReply out =
+              tenant.cloud->prove(req.token, std::move(req.results));
+          return encode_frame(reply, out.serialize(), max);
+        }
+        default:
+          return error_frame("protocol",
+                             "unknown opcode " + std::to_string(frame.opcode),
+                             max);
+      }
+    } catch (const DecodeError& e) {
+      server_metrics().decode_errors.add();
+      return error_frame("decode", e.what(), max);
+    } catch (const ProtocolError& e) {
+      return error_frame("protocol", e.what(), max);
+    } catch (const Error& e) {
+      return error_frame("internal", e.what(), max);
+    }
+  }
+
+  /// HELLO handling on the reader thread (cheap: a map lookup). Returns
+  /// false when the connection must close (bad magic / unknown tenant).
+  bool handle_hello(Connection& conn, const Frame& frame) {
+    const std::size_t max = config.max_frame_bytes;
+    const std::uint64_t seq = conn.next_seq++;
+    try {
+      const HelloRequest req = HelloRequest::deserialize(frame.payload);
+      const auto it = tenants.find(req.tenant);
+      if (it == tenants.end()) {
+        conn.stage_reply(seq, error_frame("hello",
+                                          "unknown tenant: " + req.tenant,
+                                          max));
+        return false;
+      }
+      conn.tenant = it->second.get();
+      HelloReply out;
+      out.tenant = req.tenant;
+      {
+        std::shared_lock lock(conn.tenant->mu);
+        out.shard_count =
+            static_cast<std::uint32_t>(conn.tenant->cloud->shard_count());
+        out.prime_count = conn.tenant->cloud->prime_count();
+      }
+      conn.stage_reply(seq, encode_frame(static_cast<std::uint8_t>(Op::kHelloOk),
+                                         out.serialize(), max));
+      return true;
+    } catch (const DecodeError& e) {
+      server_metrics().decode_errors.add();
+      conn.stage_reply(seq, error_frame("hello", e.what(), max));
+      return false;
+    }
+  }
+
+  /// Dispatches one decoded frame from the reader thread. Returns false
+  /// when the connection should close.
+  bool dispatch(const std::shared_ptr<Connection>& conn, Frame frame) {
+    server_metrics().frames_received.add();
+    const auto op = static_cast<Op>(frame.opcode);
+    const std::size_t max = config.max_frame_bytes;
+
+    if (conn->tenant == nullptr) {
+      if (op != Op::kHello) {
+        conn->stage_reply(conn->next_seq++,
+                          error_frame("hello", "expected HELLO first", max));
+        return false;
+      }
+      return handle_hello(*conn, frame);
+    }
+    if (op == Op::kHello) {
+      conn->stage_reply(conn->next_seq++,
+                        error_frame("protocol", "duplicate HELLO", max));
+      return false;
+    }
+
+    if (!acquire_slot()) return false;  // server stopping
+    const std::uint64_t seq = conn->next_seq++;
+    {
+      std::lock_guard lock(conn->mu);
+      ++conn->pending;
+    }
+    {
+      std::lock_guard lock(inflight_mu);
+      ++inflight;
+    }
+    server_metrics().requests_dispatched.add();
+    server_metrics().dispatch_inflight.add();
+
+    Tenant* tenant = conn->tenant;
+    ThreadPool::instance().submit(
+        [this, conn, tenant, seq, frame = std::move(frame)]() mutable {
+          const auto start = std::chrono::steady_clock::now();
+          Bytes reply = handle_request(*tenant, frame);
+          conn->stage_reply(seq, std::move(reply));
+          release_slot();
+          server_metrics().dispatch_inflight.sub();
+          if (metrics::enabled()) {
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            server_metrics().request_ns.record(
+                ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+          }
+          {
+            std::lock_guard lock(inflight_mu);
+            --inflight;
+          }
+          inflight_cv.notify_all();
+        });
+    return true;
+  }
+
+  // --- connection threads -------------------------------------------------
+
+  void reader_loop(std::shared_ptr<Connection> conn) {
+    conn->sock.set_recv_timeout(config.idle_timeout);
+    FrameDecoder decoder(config.max_frame_bytes);
+    bool keep_going = true;
+    try {
+      while (keep_going && !stopping.load()) {
+        const Bytes chunk = conn->sock.recv_some();
+        if (chunk.empty()) break;  // orderly peer shutdown
+        metrics::ScopedTimer timer(server_metrics().decode_ns);
+        decoder.feed(chunk);
+        while (keep_going) {
+          std::optional<Frame> frame = decoder.next();
+          if (!frame.has_value()) break;
+          keep_going = dispatch(conn, std::move(*frame));
+        }
+      }
+    } catch (const DecodeError& e) {
+      // Malformed framing: the stream cannot be resynchronized. Report and
+      // close.
+      server_metrics().decode_errors.add();
+      conn->stage_reply(conn->next_seq++,
+                        error_frame("decode", e.what(), config.max_frame_bytes));
+    } catch (const NetError&) {
+      // Idle timeout or transport failure: nothing sensible to send.
+    }
+    {
+      std::lock_guard lock(conn->mu);
+      conn->reads_done = true;
+    }
+    conn->cv.notify_all();
+  }
+
+  void writer_loop(std::shared_ptr<Connection> conn) {
+    conn->sock.set_send_timeout(config.send_timeout);
+    for (;;) {
+      Bytes frame;
+      {
+        std::unique_lock lock(conn->mu);
+        conn->cv.wait(lock, [&] {
+          return conn->aborted || conn->staged.count(conn->next_to_send) != 0 ||
+                 (conn->reads_done && conn->pending == 0 &&
+                  conn->staged.empty());
+        });
+        if (conn->aborted) break;
+        const auto it = conn->staged.find(conn->next_to_send);
+        if (it == conn->staged.end()) break;  // drained and reader done
+        frame = std::move(it->second);
+        conn->staged.erase(it);
+        ++conn->next_to_send;
+      }
+      try {
+        if (tamper) {
+          for (const Bytes& out : tamper(frame)) conn->sock.send_all(out);
+        } else {
+          conn->sock.send_all(frame);
+        }
+        server_metrics().frames_sent.add();
+      } catch (const NetError&) {
+        std::lock_guard lock(conn->mu);
+        conn->aborted = true;
+        break;
+      }
+    }
+    // Unblock the reader if it is still parked in recv (send failed first).
+    conn->sock.shutdown_both();
+    conn->finished.store(true);
+  }
+
+  // --- acceptor -----------------------------------------------------------
+
+  void reap_finished() {
+    std::lock_guard lock(conns_mu);
+    for (auto it = conns.begin(); it != conns.end();) {
+      Connection& conn = *it->second;
+      bool done = conn.finished.load();
+      if (done) {
+        std::lock_guard cl(conn.mu);
+        done = conn.reads_done && conn.pending == 0;
+      }
+      if (done) {
+        if (conn.reader.joinable()) conn.reader.join();
+        if (conn.writer.joinable()) conn.writer.join();
+        it = conns.erase(it);
+        server_metrics().active_connections.sub();
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void accept_loop() {
+    while (!stopping.load()) {
+      Socket sock = listener->accept_with_timeout(std::chrono::milliseconds(50));
+      reap_finished();
+      if (!sock.valid()) continue;
+      std::size_t live = 0;
+      {
+        std::lock_guard lock(conns_mu);
+        live = conns.size();
+      }
+      if (live >= config.max_connections) {
+        server_metrics().rejected.add();
+        try {
+          sock.set_send_timeout(config.send_timeout);
+          sock.send_all(error_frame("busy", "connection limit reached",
+                                    config.max_frame_bytes));
+        } catch (const NetError&) {
+        }
+        continue;  // Socket dtor closes
+      }
+      server_metrics().accepted.add();
+      server_metrics().active_connections.add();
+      auto conn = std::make_shared<Connection>();
+      conn->sock = std::move(sock);
+      {
+        std::lock_guard lock(conns_mu);
+        conn->id = next_conn_id++;
+        conns.emplace(conn->id, conn);
+      }
+      conn->reader = std::thread([this, conn] { reader_loop(conn); });
+      conn->writer = std::thread([this, conn] { writer_loop(conn); });
+    }
+  }
+};
+
+SlicerServer::SlicerServer(ServerConfig config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->config = config;
+  if (impl_->config.port == 0) {
+    impl_->config.port = static_cast<std::uint16_t>(
+        env::size_knob("SLICER_PORT", 0, 0, 65535));
+  }
+  if (impl_->config.dispatch_concurrency == 0) {
+    impl_->config.dispatch_concurrency = env::size_knob(
+        "SLICER_NET_THREADS", ThreadPool::instance().thread_count(), 1, 4096);
+  }
+  impl_->slots_free = impl_->config.dispatch_concurrency;
+}
+
+SlicerServer::~SlicerServer() { stop(); }
+
+void SlicerServer::add_tenant(const std::string& name,
+                              std::unique_ptr<core::CloudServer> cloud) {
+  if (impl_->started) throw ProtocolError("add_tenant after start");
+  auto tenant = std::make_unique<Tenant>();
+  tenant->cloud = std::move(cloud);
+  if (!impl_->tenants.emplace(name, std::move(tenant)).second)
+    throw ProtocolError("duplicate tenant: " + name);
+}
+
+const core::CloudServer& SlicerServer::tenant(const std::string& name) const {
+  const auto it = impl_->tenants.find(name);
+  if (it == impl_->tenants.end())
+    throw ProtocolError("unknown tenant: " + name);
+  return *it->second->cloud;
+}
+
+void SlicerServer::start() {
+  if (impl_->started) throw ProtocolError("server already started");
+  impl_->listener = std::make_unique<ListenSocket>(impl_->config.port);
+  impl_->started = true;
+  impl_->stopping.store(false);
+  impl_->acceptor = std::thread([this] { impl_->accept_loop(); });
+}
+
+void SlicerServer::stop() {
+  if (!impl_->started) return;
+  impl_->stopping.store(true);
+  impl_->slots_cv.notify_all();
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+
+  // Unblock and join every reader first (recv returns 0 after shutdown):
+  // once readers are gone, no new request can be dispatched.
+  {
+    std::lock_guard lock(impl_->conns_mu);
+    for (auto& [id, conn] : impl_->conns) conn->sock.shutdown_both();
+    for (auto& [id, conn] : impl_->conns)
+      if (conn->reader.joinable()) conn->reader.join();
+  }
+  // Wait for every already-dispatched handler to finish — they reference
+  // connections and tenants (the inflight decrement is the handler's last
+  // touch of server state, so zero means safe teardown).
+  {
+    std::unique_lock lock(impl_->inflight_mu);
+    impl_->inflight_cv.wait(lock, [&] { return impl_->inflight == 0; });
+  }
+  // Writers: drain staged replies, then exit via the reads_done condition.
+  {
+    std::lock_guard lock(impl_->conns_mu);
+    for (auto& [id, conn] : impl_->conns) {
+      conn->cv.notify_all();
+      if (conn->writer.joinable()) conn->writer.join();
+      server_metrics().active_connections.sub();
+    }
+    impl_->conns.clear();
+  }
+  impl_->listener.reset();
+  impl_->started = false;
+}
+
+std::uint16_t SlicerServer::port() const {
+  if (impl_->listener == nullptr) throw ProtocolError("server not started");
+  return impl_->listener->port();
+}
+
+std::size_t SlicerServer::connection_count() const {
+  std::lock_guard lock(impl_->conns_mu);
+  return impl_->conns.size();
+}
+
+void SlicerServer::set_frame_tamper(FrameTamper tamper) {
+  if (impl_->started) throw ProtocolError("set_frame_tamper after start");
+  impl_->tamper = std::move(tamper);
+}
+
+}  // namespace slicer::net

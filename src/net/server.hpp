@@ -1,0 +1,127 @@
+// SlicerServer: a standalone TCP front-end over CloudServer.
+//
+// Deployment shape (one process, loopback TCP):
+//
+//   acceptor thread ──accept──▶ per-connection reader thread
+//                                  │  FrameDecoder + strict payload decode
+//                                  │  hello → tenant binding (inline)
+//                                  ▼
+//                        ThreadPool::submit(handler)   ← SLICER_NET_THREADS
+//                                  │                      admission slots
+//                                  ▼
+//                     per-connection writer thread
+//                        (seq-ordered reply queue → send_all)
+//
+// Requests are decoded on the connection's reader thread and dispatched to
+// the process-wide ThreadPool, so an expensive request (a bulk APPLY, a
+// many-token aggregated search) from one tenant never blocks another
+// tenant's reader. Replies are staged in a per-connection sequence-ordered
+// queue drained by a dedicated writer thread: handlers complete in any
+// order, but each connection observes replies in request order, and a slow
+// or stalled verifier only backs up its own writer (kernel send timeout
+// bounds the stall; the dispatch slots it holds are released the moment
+// its replies are staged, not when they hit the wire).
+//
+// Tenancy: every connection starts with a HELLO frame naming a tenant; the
+// tenant's CloudServer is guarded by a shared_mutex — searches/fetches/
+// proofs run concurrently (CloudServer is internally thread-safe for const
+// access), APPLY takes the tenant exclusively. Tenants are registered
+// before start() and never share state.
+//
+// Backpressure and limits: at most `max_connections` live connections
+// (excess accepts get a kError/"busy" frame and an immediate close); at
+// most `dispatch_concurrency` requests in the pool at once — the admission
+// slot is acquired on the reader thread, so a flooding client is paused in
+// its own socket buffer (TCP backpressure) instead of ballooning the queue.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace slicer::net {
+
+/// SlicerServer tuning. Field defaults are the production values; port and
+/// dispatch_concurrency additionally honour environment knobs (see fields).
+struct ServerConfig {
+  /// TCP port to bind on 127.0.0.1. 0 defers to the SLICER_PORT knob, and
+  /// when that is unset too, the kernel assigns an ephemeral port (read it
+  /// back via port() — the test/bench default).
+  std::uint16_t port = 0;
+
+  /// Live-connection cap; accepts beyond it are answered with a
+  /// kError/"busy" frame and closed.
+  std::size_t max_connections = 64;
+
+  /// Cap on requests concurrently dispatched into the thread pool.
+  /// 0 defers to the SLICER_NET_THREADS knob (default: the pool's lane
+  /// count), clamped to [1, 4096].
+  std::size_t dispatch_concurrency = 0;
+
+  /// Reader-side receive timeout: a connection idle (or mid-frame-stalled)
+  /// longer than this is closed.
+  std::chrono::milliseconds idle_timeout{30'000};
+
+  /// Writer-side kernel send timeout: bounds how long a stalled peer can
+  /// pin its writer thread.
+  std::chrono::milliseconds send_timeout{10'000};
+
+  /// Frame-size bound enforced on receive (forged lengths) and send.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// The wire-protocol server. Lifecycle: construct → add_tenant()* →
+/// start() → (serve) → stop() (idempotent; the destructor calls it).
+class SlicerServer {
+ public:
+  explicit SlicerServer(ServerConfig config = {});
+  ~SlicerServer();
+  SlicerServer(const SlicerServer&) = delete;
+  SlicerServer& operator=(const SlicerServer&) = delete;
+
+  /// Registers a tenant database. Must be called before start().
+  void add_tenant(const std::string& name,
+                  std::unique_ptr<core::CloudServer> cloud);
+
+  /// Read access to a tenant's CloudServer (test assertions against
+  /// server-side state). Unsynchronized — call only while no APPLY can be
+  /// in flight. Throws ProtocolError for an unknown tenant.
+  const core::CloudServer& tenant(const std::string& name) const;
+
+  /// Binds, listens and spawns the acceptor. Throws NetError when the
+  /// port cannot be bound.
+  void start();
+
+  /// Stops accepting, unblocks every connection, waits for all dispatched
+  /// handlers to finish, and joins all threads. Idempotent.
+  void stop();
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const;
+
+  /// Number of currently live connections (diagnostics/tests).
+  std::size_t connection_count() const;
+
+  /// Byzantine test hook: maps each outgoing reply frame to the list of
+  /// frames actually written (empty = drop, >1 = duplicate/inject, mutated
+  /// bytes = corruption). Runs on writer threads with the frame already
+  /// sequence-ordered, so a stateful hook can also delay/reorder across a
+  /// connection's replies. Set before start(); pass nullptr to clear.
+  using FrameTamper = std::function<std::vector<Bytes>(const Bytes& frame)>;
+  void set_frame_tamper(FrameTamper tamper);
+
+ private:
+  struct Tenant;
+  struct Connection;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace slicer::net

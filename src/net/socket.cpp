@@ -1,0 +1,183 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace slicer::net {
+
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_timeout_opt(int fd, int opt, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+void Socket::set_recv_timeout(std::chrono::milliseconds timeout) {
+  set_timeout_opt(fd_, SO_RCVTIMEO, timeout);
+}
+
+void Socket::set_send_timeout(std::chrono::milliseconds timeout) {
+  set_timeout_opt(fd_, SO_SNDTIMEO, timeout);
+}
+
+void Socket::send_all(BytesView data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw NetError("send timed out");
+      throw NetError(errno_message("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Bytes Socket::recv_some(std::size_t max) {
+  Bytes buf(max);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw NetError("recv timed out");
+      throw NetError(errno_message("recv"));
+    }
+    buf.resize(static_cast<std::size_t>(n));
+    return buf;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket::ListenSocket(std::uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw NetError(errno_message("socket"));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string msg = errno_message("bind");
+    close();
+    throw NetError(msg);
+  }
+  if (::listen(fd_, backlog) < 0) {
+    const std::string msg = errno_message("listen");
+    close();
+    throw NetError(msg);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string msg = errno_message("getsockname");
+    close();
+    throw NetError(msg);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket ListenSocket::accept_with_timeout(std::chrono::milliseconds tick) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, static_cast<int>(tick.count()));
+  if (ready < 0) {
+    if (errno == EINTR) return Socket();
+    throw NetError(errno_message("poll"));
+  }
+  if (ready == 0) return Socket();
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK)
+      return Socket();
+    throw NetError(errno_message("accept"));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+void ListenSocket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket connect_loopback(std::uint16_t port,
+                        std::chrono::milliseconds timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError(errno_message("socket"));
+  Socket sock(fd);
+
+  // Non-blocking connect + poll gives a bounded connect timeout; the
+  // socket flips back to blocking afterwards (reads/writes use SO_*TIMEO).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in addr = loopback_addr(port);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) throw NetError(errno_message("connect"));
+  if (rc < 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready <= 0) throw NetError("connect timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0)
+      throw NetError(std::string("connect: ") + std::strerror(err));
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace slicer::net

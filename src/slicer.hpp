@@ -52,3 +52,10 @@
 #include "chain/blockchain.hpp"
 #include "chain/slicer_contract.hpp"
 #include "chain/tx_submitter.hpp"
+
+// Wire protocol: standalone TCP CloudServer front-end and client channel.
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"

@@ -150,6 +150,45 @@ def check_aggregate_speedup(current_path, args):
     return failures
 
 
+def check_throughput_structure(current_path):
+    """The wire-protocol bench must cover both read paths at every K.
+
+    Absolute qps at smoke scale is dominated by warm-up noise, so no
+    wall-time claim is made here beyond the generic ratio check; what must
+    hold structurally is that every (mode, K) combination produced a row,
+    each fleet actually completed requests, and the latency percentiles
+    are internally consistent (p50 <= p99, both positive).
+    """
+    rows = load_rows(current_path)
+    failures = []
+    for mode in ("legacy", "aggregated"):
+        for k in (1, 4, 8):
+            name = f"throughput/{mode}/K{k}"
+            row = rows.get(name)
+            if row is None:
+                failures.append(f"{name}: missing from {current_path}")
+                continue
+            qps = float(row.get("qps", 0))
+            p50 = float(row.get("p50_ms", 0))
+            p99 = float(row.get("p99_ms", 0))
+            requests = float(row.get("iterations", 0))
+            row_failures = []
+            if qps <= 0 or requests <= 0:
+                row_failures.append(f"{name}: no completed requests (qps={qps})")
+            if p50 <= 0 or p99 <= 0 or p50 > p99:
+                row_failures.append(
+                    f"{name}: inconsistent percentiles "
+                    f"(p50={p50:.3f} ms, p99={p99:.3f} ms)"
+                )
+            if not row_failures:
+                print(
+                    f"  throughput OK: {name} {qps:.1f} qps, "
+                    f"p50 {p50:.3f} ms, p99 {p99:.3f} ms"
+                )
+            failures += row_failures
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="+", help="BENCH_*.json files to check")
@@ -178,6 +217,8 @@ def main():
             failures += check_shard_speedup(path, args)
         if name == "BENCH_fig6_search_overhead.json":
             failures += check_aggregate_speedup(path, args)
+        if name == "BENCH_throughput.json":
+            failures += check_throughput_structure(path)
         for failure in failures:
             print(f"  REGRESSION {failure}")
         all_failures += failures

@@ -18,6 +18,11 @@ Renaming or dropping an instrument is an API change: update
 tools/metrics_schema.json in the same commit.
 
 Usage: check_metrics_schema.py BENCH_phases.json [--schema schema.json]
+           [--require-set required]
+
+--require-set picks which of the schema's required-instrument lists to
+enforce: "required" (the default, full protocol runs) or "required_net"
+(wire-protocol runs — CI applies it to BENCH_throughput.json).
 
 stdlib only — no third-party packages.
 """
@@ -74,6 +79,9 @@ def main():
     parser.add_argument("--schema", default=None,
                         help="schema file (default: metrics_schema.json "
                              "next to this script)")
+    parser.add_argument("--require-set", default="required",
+                        help="schema key naming the required-instrument "
+                             "lists to enforce (e.g. required_net)")
     args = parser.parse_args()
 
     if args.schema is None:
@@ -108,11 +116,14 @@ def main():
     for name, hist in snap["histograms"].items():
         check_histogram(name, hist)
 
+    if args.require_set not in schema:
+        fail(f"schema has no required-instrument set {args.require_set!r}")
     for section in ("counters", "gauges", "histograms"):
-        for name in schema.get("required", {}).get(section, []):
+        for name in schema[args.require_set].get(section, []):
             if name not in snap[section]:
-                fail(f"required {section[:-1]} {name!r} absent from snapshot "
-                     "(renamed? update tools/metrics_schema.json)")
+                fail(f"{args.require_set} {section[:-1]} {name!r} absent "
+                     "from snapshot (renamed? update "
+                     "tools/metrics_schema.json)")
 
     n = sum(len(snap[s]) for s in ("counters", "gauges", "histograms"))
     print(f"check_metrics_schema: OK ({n} instruments, "
