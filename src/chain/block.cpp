@@ -19,6 +19,7 @@ Bytes Block::header_hash() const {
   w.bytes(parent_hash);
   w.raw(BytesView(sealer.bytes.data(), sealer.bytes.size()));
   w.u64(timestamp);
+  w.u64(difficulty);
   w.bytes(tx_root);
   return crypto::Sha256::digest(w.view());
 }

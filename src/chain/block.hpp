@@ -14,6 +14,11 @@ struct Block {
   Bytes parent_hash;            // 32 bytes (empty for genesis input)
   Address sealer;               // the PoA validator that sealed it
   std::uint64_t timestamp = 0;  // logical time (monotonic counter)
+  /// Clique-style seal weight: 2 when the sealer is the rotation's in-turn
+  /// validator for this height, 1 for an out-of-turn competing seal. Fork
+  /// choice sums it along the branch; audit() checks it encodes the
+  /// in-turn relation honestly.
+  std::uint64_t difficulty = 2;
   std::vector<Transaction> transactions;
   Bytes tx_root;                // SHA-256 over ordered tx hashes
   Bytes seal;                   // HMAC "signature" by the sealer's key

@@ -76,6 +76,9 @@ class SlicerContract : public Contract {
   void construct(const CallContext& ctx, BytesView ctor_data) override;
   Bytes call(const CallContext& ctx, BytesView calldata) override;
   std::size_t code_size() const override { return kCodeSize; }
+  std::unique_ptr<Contract> clone() const override {
+    return std::make_unique<SlicerContract>(*this);
+  }
 
   // --- read-only views (free, like eth_call) ---
   const bigint::BigUint& stored_ac() const { return ac_; }

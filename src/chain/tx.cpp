@@ -23,6 +23,7 @@ Bytes Transaction::serialize() const {
   w.u64(value);
   w.u64(nonce);
   w.u64(gas_limit);
+  w.u64(fee);
   w.bytes(data);
   return std::move(w).take();
 }

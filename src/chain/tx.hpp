@@ -33,6 +33,11 @@ struct Transaction {
   std::uint64_t value = 0;
   std::uint64_t nonce = 0;
   std::uint64_t gas_limit = 0;  // 0 = unlimited (simulation default)
+  /// Priority fee paid to the sealing validator on execution. Under a
+  /// capped mempool the cheapest pending transactions are evicted first,
+  /// so the fee doubles as eviction priority; a fee bump re-signs the same
+  /// nonce into a new transaction hash.
+  std::uint64_t fee = 0;
   Bytes data;           // calldata (method selector + arguments)
 
   Bytes serialize() const;
@@ -45,6 +50,11 @@ struct Receipt {
   Bytes tx_hash;
   bool success = false;
   std::uint64_t gas_used = 0;
+  /// Height of the block that executed the transaction. Receipts live on a
+  /// branch: a reorg can orphan the block and the receipt with it, so a
+  /// finality-aware client waits until `block_number` is buried before
+  /// trusting the outcome.
+  std::uint64_t block_number = 0;
   std::string revert_reason;        // empty on success
   Bytes output;                     // contract return data
   std::vector<std::string> logs;    // emitted events

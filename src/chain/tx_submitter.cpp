@@ -26,6 +26,17 @@ metrics::Counter& backoff_counter() {
   static metrics::Counter& c = metrics::counter("chain.submitter.backoff_ms");
   return c;
 }
+metrics::Counter& fee_bump_counter() {
+  static metrics::Counter& c = metrics::counter("chain.submitter.fee_bumps");
+  return c;
+}
+metrics::Counter& reorg_resubmit_counter() {
+  static metrics::Counter& c =
+      metrics::counter("chain.submitter.reorg_resubmits");
+  return c;
+}
+
+constexpr const char* kStaleNonce = "stale nonce (duplicate delivery)";
 
 }  // namespace
 
@@ -35,12 +46,38 @@ std::uint64_t TxSubmitter::backoff_for(int attempt) const {
   return delay < cfg_.max_backoff_ms ? delay : cfg_.max_backoff_ms;
 }
 
+std::optional<Receipt> TxSubmitter::receipt_among(
+    const std::vector<Bytes>& variants) const {
+  // Canonical order: when a duplicate delivery (or a fee-bumped variant
+  // racing its original) produced both a genuine and a "stale nonce"
+  // receipt, the genuine one comes first and wins here. Stale receipts are
+  // skipped outright — they are the nonce guard talking, not an outcome.
+  for (const Receipt& r : chain_.receipts()) {
+    if (r.revert_reason == kStaleNonce) continue;
+    for (const Bytes& h : variants)
+      if (r.tx_hash == h) return r;
+  }
+  return std::nullopt;
+}
+
+void TxSubmitter::bump_fee(Transaction& tx) {
+  const std::uint64_t bumped =
+      tx.fee == 0 ? cfg_.fee_bump_base : tx.fee * 2;
+  const std::uint64_t capped = std::min(bumped, cfg_.max_fee);
+  if (capped == tx.fee) return;  // already at the cap
+  tx.fee = capped;
+  ++stats_.fee_bumps;
+  fee_bump_counter().add();
+}
+
 Receipt TxSubmitter::submit_and_wait(const Transaction& tx) {
-  const Bytes hash = tx.hash();
-  chain_.submit(tx);
+  Transaction current = tx;
+  std::vector<Bytes> variants{current.hash()};
+  chain_.submit(current);
   ++stats_.submits;
   submit_counter().add();
 
+  bool receipt_seen = false;
   for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
     ++stats_.seal_attempts;
     try {
@@ -54,16 +91,30 @@ Receipt TxSubmitter::submit_and_wait(const Transaction& tx) {
       backoff_counter().add(backoff_for(attempt));
       continue;
     }
-    // receipt_of returns the FIRST receipt for the hash. Blocks execute in
-    // FIFO order, so when a duplicate delivery produced both a genuine and
-    // a "stale nonce" receipt, the genuine one wins here.
-    if (auto receipt = chain_.receipt_of(hash)) return *receipt;
-    // Sealed a block but no receipt: the submission was dropped before it
-    // reached the mempool. Resubmit — idempotent thanks to the chain's
-    // nonce tracking even if the original eventually surfaces.
+    if (auto receipt = receipt_among(variants)) {
+      receipt_seen = true;
+      // Buried deep enough (or burial not requested): done. Otherwise keep
+      // sealing — the receipt is re-checked each round because a reorg can
+      // still orphan it until it is final.
+      if (chain_.height() > receipt->block_number + cfg_.finality_depth)
+        return *receipt;
+      continue;
+    }
+    // No receipt on the canonical chain. Either the submission never made
+    // it in (mempool drop — indistinguishable from a fee eviction, so the
+    // retry outbids both) or a reorg orphaned the block that carried it.
+    // Resubmit a fee-bumped variant; the chain's per-branch nonce tracking
+    // keeps every variant safe to race.
+    if (receipt_seen) {
+      ++stats_.reorg_resubmits;
+      reorg_resubmit_counter().add();
+      receipt_seen = false;
+    }
     stats_.backoff_ms += backoff_for(attempt);
     backoff_counter().add(backoff_for(attempt));
-    chain_.submit(tx);
+    bump_fee(current);
+    variants.push_back(current.hash());
+    chain_.submit(current);
     ++stats_.submits;
     ++stats_.resubmits;
     submit_counter().add();

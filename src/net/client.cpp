@@ -13,6 +13,7 @@ struct ClientMetrics {
   metrics::Counter& requests = metrics::counter("net.client.requests");
   metrics::Counter& retries = metrics::counter("net.client.retries");
   metrics::Counter& reconnects = metrics::counter("net.client.reconnects");
+  metrics::Counter& throttled = metrics::counter("net.client.throttled");
   metrics::Histogram& request_ns = metrics::histogram("net.client.request_ns");
 };
 
@@ -92,7 +93,8 @@ std::uint64_t SlicerClientChannel::backoff_for(int attempt) const {
 Bytes SlicerClientChannel::roundtrip_idempotent(Op op, BytesView payload) {
   ++stats_.requests;
   client_metrics().requests.add();
-  std::optional<NetError> last;
+  std::string last;
+  bool reconnect_needed = false;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (attempt > 0) {
       const std::uint64_t delay = backoff_for(attempt - 1);
@@ -100,24 +102,37 @@ Bytes SlicerClientChannel::roundtrip_idempotent(Op op, BytesView payload) {
       std::this_thread::sleep_for(std::chrono::milliseconds(delay));
       ++stats_.retries;
       client_metrics().retries.add();
-      try {
-        connect_and_hello();
-        ++stats_.reconnects;
-        client_metrics().reconnects.add();
-      } catch (const NetError& e) {
-        last = e;
-        continue;
+      // A throttled reply left the connection healthy — backoff alone is
+      // enough. Only a transport failure forces a reconnect + re-HELLO.
+      if (reconnect_needed) {
+        try {
+          connect_and_hello();
+          ++stats_.reconnects;
+          client_metrics().reconnects.add();
+          reconnect_needed = false;
+        } catch (const NetError& e) {
+          last = e.what();
+          continue;
+        }
       }
     }
     try {
       return roundtrip_once(op, payload);
     } catch (const NetError& e) {
-      last = e;
+      last = e.what();
+      reconnect_needed = true;
+    } catch (const ServerError& e) {
+      // Per-tenant rate limiting is a retryable condition; every other
+      // server-reported code means the request itself is at fault.
+      if (e.code() != "throttled") throw;
+      ++stats_.throttled;
+      client_metrics().throttled.add();
+      last = e.what();
     }
   }
   throw NetError(std::string(op_name(op)) + " failed after " +
                  std::to_string(config_.max_attempts) +
-                 " attempts: " + (last ? last->what() : "no attempt"));
+                 " attempts: " + (last.empty() ? "no attempt" : last));
 }
 
 std::uint64_t SlicerClientChannel::apply(const core::UpdateOutput& update) {

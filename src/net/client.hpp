@@ -13,7 +13,10 @@
 //
 // Protocol-level failures arrive as kError frames and throw ServerError
 // carrying the server's stable error code; these are never retried — the
-// request itself is at fault, not the transport.
+// request itself is at fault, not the transport — with one exception:
+// code "throttled" (per-tenant rate limiting) is a retryable condition.
+// The server kept the connection open, so the channel backs off and
+// re-issues the request on the same connection without a reconnect.
 #pragma once
 
 #include <chrono>
@@ -29,7 +32,8 @@
 namespace slicer::net {
 
 /// A kError reply from the server. `code()` is the stable machine-readable
-/// code ("decode", "protocol", "busy", "hello", "internal").
+/// code ("decode", "protocol", "busy", "hello", "internal", "throttled",
+/// "banned").
 class ServerError : public Error {
  public:
   ServerError(std::string code, const std::string& message)
@@ -57,6 +61,7 @@ struct ChannelStats {
   std::uint64_t retries = 0;     ///< extra attempts after transport errors
   std::uint64_t reconnects = 0;  ///< connections established after the first
   std::uint64_t backoff_ms = 0;  ///< total backoff slept
+  std::uint64_t throttled = 0;   ///< kError/"throttled" replies absorbed
 };
 
 /// A connected, HELLO-bound client channel.

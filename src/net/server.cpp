@@ -1,6 +1,8 @@
 #include "net/server.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
@@ -8,6 +10,7 @@
 #include <thread>
 
 #include "common/env.hpp"
+#include "common/fault.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
@@ -26,6 +29,13 @@ struct ServerMetrics {
       metrics::counter("net.server.requests_dispatched");
   metrics::Counter& errors_sent = metrics::counter("net.server.errors_sent");
   metrics::Counter& decode_errors = metrics::counter("net.server.decode_errors");
+  metrics::Counter& tenant_throttled =
+      metrics::counter("net.server.tenant.throttled");
+  metrics::Counter& tenant_misbehavior =
+      metrics::counter("net.server.tenant.misbehavior");
+  metrics::Counter& tenant_bans = metrics::counter("net.server.tenant.bans");
+  metrics::Counter& tenant_banned_rejects =
+      metrics::counter("net.server.tenant.banned_rejects");
   metrics::Gauge& active_connections =
       metrics::gauge("net.server.active_connections");
   metrics::Gauge& dispatch_inflight = metrics::gauge("net.server.dispatch_inflight");
@@ -49,13 +59,28 @@ Bytes error_frame(std::string_view code, std::string_view message,
                       max_frame_bytes);
 }
 
+/// Misbehavior tariffs (see the server.hpp header comment).
+constexpr std::size_t kMalformedPoints = 20;
+constexpr std::size_t kUnknownOpcodePoints = 10;
+constexpr std::size_t kOversizedPoints = 40;
+
 }  // namespace
 
 /// One registered tenant: its database plus the reader/writer lock that
-/// lets concurrent searches coexist with exclusive APPLY batches.
+/// lets concurrent searches coexist with exclusive APPLY batches, plus the
+/// abuse-control state shared by every connection the tenant holds.
 struct SlicerServer::Tenant {
   std::unique_ptr<core::CloudServer> cloud;
   std::shared_mutex mu;
+
+  /// Token bucket + misbehavior score. Guarded by admission_mu: reader
+  /// threads consult it per request; pool threads add misbehavior when a
+  /// payload fails to decode.
+  std::mutex admission_mu;
+  double tokens = 0;
+  std::chrono::steady_clock::time_point last_refill{};
+  std::size_t misbehavior = 0;
+  std::chrono::steady_clock::time_point banned_until{};
 };
 
 /// One live connection. The reader thread owns decode + dispatch; replies
@@ -138,6 +163,52 @@ struct SlicerServer::Impl {
     slots_cv.notify_one();
   }
 
+  // --- tenant abuse control ----------------------------------------------
+
+  bool tenant_is_banned(Tenant& tenant) const {
+    std::lock_guard lock(tenant.admission_mu);
+    return std::chrono::steady_clock::now() < tenant.banned_until;
+  }
+
+  /// Adds misbehavior points to the tenant; returns true when this call
+  /// tripped the ban threshold (the caller should close the connection).
+  bool record_misbehavior(Tenant& tenant, std::size_t points) {
+    server_metrics().tenant_misbehavior.add(points);
+    std::lock_guard lock(tenant.admission_mu);
+    tenant.misbehavior += points;
+    if (tenant.misbehavior < config.ban_threshold) return false;
+    tenant.misbehavior = 0;
+    tenant.banned_until =
+        std::chrono::steady_clock::now() + config.ban_duration;
+    server_metrics().tenant_bans.add();
+    return true;
+  }
+
+  enum class Admission { kAdmit, kThrottle, kBanned };
+
+  /// Token-bucket admission for one request. The `net.tenant.flood` fault
+  /// site fires here: it drains the tenant's bucket and throttles the hit
+  /// request (even under unlimited qps), which is how the soak starves one
+  /// tenant on demand.
+  Admission admit(Tenant& tenant) {
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard lock(tenant.admission_mu);
+    if (now < tenant.banned_until) return Admission::kBanned;
+    const bool flood = fault_point("net.tenant.flood");
+    if (config.tenant_qps == 0)  // unlimited admission
+      return flood ? Admission::kThrottle : Admission::kAdmit;
+    const double elapsed =
+        std::chrono::duration<double>(now - tenant.last_refill).count();
+    tenant.last_refill = now;
+    tenant.tokens = std::min(
+        static_cast<double>(config.tenant_burst),
+        tenant.tokens + elapsed * static_cast<double>(config.tenant_qps));
+    if (flood) tenant.tokens = 0;
+    if (flood || tenant.tokens < 1.0) return Admission::kThrottle;
+    tenant.tokens -= 1.0;
+    return Admission::kAdmit;
+  }
+
   // --- request handling --------------------------------------------------
 
   /// Decodes + executes one non-HELLO request against the connection's
@@ -196,6 +267,9 @@ struct SlicerServer::Impl {
       }
     } catch (const DecodeError& e) {
       server_metrics().decode_errors.add();
+      // Undecodable payload inside a well-framed request: score it on the
+      // tenant. The ban (if tripped) takes effect on the next dispatch.
+      record_misbehavior(tenant, kMalformedPoints);
       return error_frame("decode", e.what(), max);
     } catch (const ProtocolError& e) {
       return error_frame("protocol", e.what(), max);
@@ -215,6 +289,14 @@ struct SlicerServer::Impl {
       if (it == tenants.end()) {
         conn.stage_reply(seq, error_frame("hello",
                                           "unknown tenant: " + req.tenant,
+                                          max));
+        return false;
+      }
+      if (tenant_is_banned(*it->second)) {
+        // A banned tenant cannot launder its score by reconnecting.
+        server_metrics().tenant_banned_rejects.add();
+        conn.stage_reply(seq, error_frame("banned",
+                                          "tenant is banned: " + req.tenant,
                                           max));
         return false;
       }
@@ -258,6 +340,60 @@ struct SlicerServer::Impl {
       return false;
     }
 
+    // Abuse control, all on the reader thread (cheap: one mutex hop), in
+    // order: ban gate, misbehavior scoring (garbage never spends a token),
+    // then the token bucket.
+    Tenant& tenant = *conn->tenant;
+    if (tenant_is_banned(tenant)) {
+      server_metrics().tenant_banned_rejects.add();
+      conn->stage_reply(conn->next_seq++,
+                        error_frame("banned", "tenant is banned", max));
+      return false;
+    }
+    const bool known_op = op == Op::kPing || op == Op::kApply ||
+                          op == Op::kSearch || op == Op::kSearchAggregated ||
+                          op == Op::kFetch || op == Op::kProve;
+    if (!known_op) {
+      const bool banned = record_misbehavior(tenant, kUnknownOpcodePoints);
+      conn->stage_reply(conn->next_seq++,
+                        error_frame("protocol",
+                                    "unknown opcode " +
+                                        std::to_string(frame.opcode),
+                                    max));
+      return !banned;  // a tripped ban disconnects immediately
+    }
+    const std::size_t soft_max = config.max_request_bytes == 0
+                                     ? config.max_frame_bytes
+                                     : config.max_request_bytes;
+    if (frame.payload.size() > soft_max) {
+      const bool banned = record_misbehavior(tenant, kOversizedPoints);
+      conn->stage_reply(
+          conn->next_seq++,
+          error_frame("protocol",
+                      "oversized payload: " +
+                          std::to_string(frame.payload.size()) + " > " +
+                          std::to_string(soft_max) + " bytes",
+                      max));
+      return !banned;
+    }
+    switch (admit(tenant)) {
+      case Admission::kBanned:
+        server_metrics().tenant_banned_rejects.add();
+        conn->stage_reply(conn->next_seq++,
+                          error_frame("banned", "tenant is banned", max));
+        return false;
+      case Admission::kThrottle:
+        // The connection stays open: throttling is a retryable condition
+        // the client answers with backoff, not a protocol violation.
+        server_metrics().tenant_throttled.add();
+        conn->stage_reply(
+            conn->next_seq++,
+            error_frame("throttled", "tenant rate limit exceeded", max));
+        return true;
+      case Admission::kAdmit:
+        break;
+    }
+
     if (!acquire_slot()) return false;  // server stopping
     const std::uint64_t seq = conn->next_seq++;
     {
@@ -271,9 +407,8 @@ struct SlicerServer::Impl {
     server_metrics().requests_dispatched.add();
     server_metrics().dispatch_inflight.add();
 
-    Tenant* tenant = conn->tenant;
     ThreadPool::instance().submit(
-        [this, conn, tenant, seq, frame = std::move(frame)]() mutable {
+        [this, conn, tenant = &tenant, seq, frame = std::move(frame)]() mutable {
           const auto start = std::chrono::steady_clock::now();
           Bytes reply = handle_request(*tenant, frame);
           conn->stage_reply(seq, std::move(reply));
@@ -316,8 +451,11 @@ struct SlicerServer::Impl {
       }
     } catch (const DecodeError& e) {
       // Malformed framing: the stream cannot be resynchronized. Report and
-      // close.
+      // close. Post-HELLO this scores on the tenant, so a reconnect-and-
+      // send-garbage loop converges on a ban.
       server_metrics().decode_errors.add();
+      if (conn->tenant != nullptr)
+        record_misbehavior(*conn->tenant, kMalformedPoints);
       conn->stage_reply(conn->next_seq++,
                         error_frame("decode", e.what(), config.max_frame_bytes));
     } catch (const NetError&) {
@@ -434,6 +572,10 @@ SlicerServer::SlicerServer(ServerConfig config)
     impl_->config.dispatch_concurrency = env::size_knob(
         "SLICER_NET_THREADS", ThreadPool::instance().thread_count(), 1, 4096);
   }
+  if (impl_->config.tenant_qps == 0) {
+    impl_->config.tenant_qps =
+        env::size_knob("SLICER_TENANT_QPS", 0, 0, 1'000'000);
+  }
   impl_->slots_free = impl_->config.dispatch_concurrency;
 }
 
@@ -444,6 +586,8 @@ void SlicerServer::add_tenant(const std::string& name,
   if (impl_->started) throw ProtocolError("add_tenant after start");
   auto tenant = std::make_unique<Tenant>();
   tenant->cloud = std::move(cloud);
+  tenant->tokens = static_cast<double>(impl_->config.tenant_burst);
+  tenant->last_refill = std::chrono::steady_clock::now();
   if (!impl_->tenants.emplace(name, std::move(tenant)).second)
     throw ProtocolError("duplicate tenant: " + name);
 }
@@ -506,6 +650,21 @@ std::uint16_t SlicerServer::port() const {
 std::size_t SlicerServer::connection_count() const {
   std::lock_guard lock(impl_->conns_mu);
   return impl_->conns.size();
+}
+
+bool SlicerServer::tenant_banned(const std::string& name) const {
+  const auto it = impl_->tenants.find(name);
+  if (it == impl_->tenants.end())
+    throw ProtocolError("unknown tenant: " + name);
+  return impl_->tenant_is_banned(*it->second);
+}
+
+std::size_t SlicerServer::tenant_misbehavior(const std::string& name) const {
+  const auto it = impl_->tenants.find(name);
+  if (it == impl_->tenants.end())
+    throw ProtocolError("unknown tenant: " + name);
+  std::lock_guard lock(it->second->admission_mu);
+  return it->second->misbehavior;
 }
 
 void SlicerServer::set_frame_tamper(FrameTamper tamper) {

@@ -33,6 +33,22 @@
 // most `dispatch_concurrency` requests in the pool at once — the admission
 // slot is acquired on the reader thread, so a flooding client is paused in
 // its own socket buffer (TCP backpressure) instead of ballooning the queue.
+//
+// Per-tenant abuse control: every tenant owns a token bucket
+// (tenant_qps / tenant_burst; the qps defaults to the SLICER_TENANT_QPS
+// knob, 0 = unlimited) consulted on the reader thread before dispatch — an
+// empty bucket gets a kError/"throttled" reply and the connection stays
+// open (the client backs off and retries). Misbehavior accrues on the
+// tenant, not the connection: malformed frames and undecodable payloads
+// post-HELLO score +20, unknown opcodes +10, oversized payloads (above
+// max_request_bytes) +40; crossing ban_threshold bans the tenant for
+// ban_duration — every further request (and every reconnect HELLO) is
+// answered kError/"banned" and the connection is closed. Because the score
+// lives on the tenant, a one-tenant flood cannot consume another tenant's
+// admission budget, and reconnect-and-misbehave loops still converge on a
+// ban. The `net.tenant.flood` fault site drains the firing tenant's bucket
+// (and throttles the hit request) so the Byzantine soak can starve one
+// tenant on demand and assert a victim tenant's latency stays bounded.
 #pragma once
 
 #include <chrono>
@@ -75,6 +91,29 @@ struct ServerConfig {
 
   /// Frame-size bound enforced on receive (forged lengths) and send.
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Per-tenant sustained request rate (token-bucket refill, requests per
+  /// second). 0 defers to the SLICER_TENANT_QPS knob (clamped to
+  /// [0, 1'000'000]); when that is unset too, admission is unlimited.
+  std::size_t tenant_qps = 0;
+
+  /// Token-bucket capacity: the burst a tenant may issue before the
+  /// sustained rate applies. Ignored when admission is unlimited.
+  std::size_t tenant_burst = 32;
+
+  /// Misbehavior score at which a tenant is banned (malformed frame or
+  /// undecodable payload +20, unknown opcode +10, oversized payload +40).
+  std::size_t ban_threshold = 100;
+
+  /// How long a ban lasts; while banned, every request and every HELLO
+  /// from the tenant is answered kError/"banned" and the connection closed.
+  std::chrono::milliseconds ban_duration{60'000};
+
+  /// Soft per-request payload bound: a frame whose payload exceeds this
+  /// scores oversized-payload misbehavior (+40) instead of being
+  /// processed. 0 defers to max_frame_bytes (i.e. only the hard framing
+  /// bound applies, which kills the stream outright).
+  std::size_t max_request_bytes = 0;
 };
 
 /// The wire-protocol server. Lifecycle: construct → add_tenant()* →
@@ -108,6 +147,14 @@ class SlicerServer {
 
   /// Number of currently live connections (diagnostics/tests).
   std::size_t connection_count() const;
+
+  /// Whether a tenant is currently banned (diagnostics/tests). Throws
+  /// ProtocolError for an unknown tenant.
+  bool tenant_banned(const std::string& name) const;
+
+  /// A tenant's current misbehavior score (diagnostics/tests; resets to 0
+  /// when a ban trips). Throws ProtocolError for an unknown tenant.
+  std::size_t tenant_misbehavior(const std::string& name) const;
 
   /// Byzantine test hook: maps each outgoing reply frame to the list of
   /// frames actually written (empty = drop, >1 = duplicate/inject, mutated

@@ -48,8 +48,10 @@
 #include "core/user.hpp"
 #include "core/verify.hpp"
 
-// Blockchain layer: simulated chain, the Slicer contract, tx submission.
+// Blockchain layer: simulated chain, the Slicer contract, tx submission,
+// finality-aware digest reads.
 #include "chain/blockchain.hpp"
+#include "chain/finality.hpp"
 #include "chain/slicer_contract.hpp"
 #include "chain/tx_submitter.hpp"
 

@@ -114,6 +114,9 @@ class EchoContract : public Contract {
     return Bytes(calldata.begin(), calldata.end());
   }
   std::size_t code_size() const override { return 100; }
+  std::unique_ptr<Contract> clone() const override {
+    return std::make_unique<EchoContract>(*this);
+  }
 };
 }  // namespace
 
