@@ -113,6 +113,110 @@ bool soak_detection(BenchJson& json) {
   return ok;
 }
 
+/// Plan-level taxonomy soak: the clause batch of a planner query is the
+/// attack surface (drop a clause reply, swap two clauses' replies, serve
+/// one clause from a pre-update recording). Each seed batches a gt/lt
+/// clause pair with alternating read paths, so both the legacy and the
+/// aggregated clause verifiers face every operation. Returns false on any
+/// false accept (tampered batch verifying) or false reject (honest batch
+/// failing).
+bool soak_plan_detection(BenchJson& json) {
+  const std::size_t count = static_cast<std::size_t>(200 * scale());
+  World& world = cached_world(8, count);
+  world.cloud->precompute_witnesses();
+
+  constexpr int kSeeds = 5;
+  bool ok = true;
+  core::RecordId stale_id = 300'000;
+
+  const auto make_requests = [&world](std::uint64_t pivot, int seed) {
+    std::vector<core::ClauseRequest> requests(2);
+    requests[0].aggregated = seed % 2 == 0;
+    requests[0].tokens =
+        world.user->make_tokens(pivot, core::MatchCondition::kGreater);
+    requests[1].aggregated = seed % 2 == 1;
+    requests[1].tokens =
+        world.user->make_tokens(pivot, core::MatchCondition::kLess);
+    return requests;
+  };
+
+  // Honest control: the plan verifier must accept every untampered batch.
+  {
+    std::uint64_t accepted = 0;
+    double honest_ms = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const auto requests = make_requests(
+          query_values(8, kSeeds, "plan-soak")[static_cast<std::size_t>(seed)],
+          seed);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto replies = world.cloud->search_plan(requests);
+      const auto pv =
+          core::verify_plan(world.acc_params, world.cloud->shard_values(),
+                            requests, replies, world.config.prime_bits);
+      honest_ms += ms_since(t0);
+      if (pv.verified) {
+        ++accepted;
+      } else {
+        std::printf("FALSE REJECT: plan_honest seed=%d\n", seed);
+        ok = false;
+      }
+    }
+    const double rate = static_cast<double>(accepted) / kSeeds;
+    std::printf("tamper %-22s cases %3d  accepted %.0f%%  (%.1f ms)\n",
+                "plan_honest", kSeeds, rate * 100.0, honest_ms);
+    json.add({"detection/plan_honest",
+              honest_ms,
+              kSeeds,
+              {{"detection_rate", rate}, {"benign", 1.0}}});
+  }
+
+  for (const core::Tamper tamper : core::kPlanTampers) {
+    std::uint64_t cases = 0, detected = 0;
+    double tamper_ms = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const std::uint64_t pivot =
+          query_values(8, kSeeds, "plan-soak")[static_cast<std::size_t>(seed)];
+      const auto requests = make_requests(pivot, seed);
+      core::MaliciousCloud mal(*world.cloud, tamper,
+                               static_cast<std::uint64_t>(seed));
+      if (tamper == core::Tamper::kStaleClauseVO) {
+        mal.record_stale_plan(requests);
+        // Insert a value adjacent to the pivot so at least one clause's
+        // honest reply genuinely changes and the recording goes stale.
+        std::vector<core::Record> extra = {{stale_id++, (pivot + 1) & 0xFF}};
+        world.cloud->apply(world.owner->insert(extra));
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto out = mal.search_plan(requests);
+      const auto pv =
+          core::verify_plan(world.acc_params, world.cloud->shard_values(),
+                            requests, out.replies, world.config.prime_bits);
+      tamper_ms += ms_since(t0);
+      if (!out.tampered) continue;
+      ++cases;
+      if (!pv.verified) {
+        ++detected;
+      } else {
+        std::printf("FALSE ACCEPT: %s seed=%d\n",
+                    std::string(core::tamper_name(tamper)).c_str(), seed);
+        ok = false;
+      }
+    }
+    const double rate = cases ? static_cast<double>(detected) /
+                                    static_cast<double>(cases)
+                              : 1.0;
+    std::printf("tamper %-22s cases %3llu  detected %.0f%%  (%.1f ms)\n",
+                std::string(core::tamper_name(tamper)).c_str(),
+                static_cast<unsigned long long>(cases), rate * 100.0,
+                tamper_ms);
+    json.add({std::string("detection/") + std::string(core::tamper_name(tamper)),
+              tamper_ms,
+              static_cast<std::int64_t>(cases),
+              {{"detection_rate", rate}, {"benign", 0.0}}});
+  }
+  return ok;
+}
+
 /// Full contract flows over a flaky chain; reports retry counters.
 bool soak_chain(BenchJson& json) {
   const std::size_t count = static_cast<std::size_t>(200 * scale());
@@ -709,6 +813,7 @@ int main() {
   BenchJson json("robustness");
   bool ok = true;
   ok &= soak_detection(json);
+  ok &= soak_plan_detection(json);
   ok &= soak_chain(json);
   ok &= soak_reorg_dispute(json);
   ok &= soak_mempool_flood(json);

@@ -1,83 +1,165 @@
-// Financial-audit scenario: multi-attribute records (§V-F extension).
+// Financial-audit scenario: boolean planner queries over a correlated
+// multi-attribute ledger (§V-F extension + DESIGN.md §3k).
+//
 // A firm outsources encrypted transaction records with two numerical
-// attributes — amount and risk score — and an auditor runs verifiable
-// range queries per attribute without learning anything else.
+// attributes — amount (Zipf-skewed, as real ledgers are: a few price
+// points dominate) and a risk score correlated with the amount — and an
+// auditor asks boolean questions (AND/OR/NOT across attributes) plus
+// verified aggregates (COUNT, MAX, top-k) through one QuerySpec API. The
+// cloud proves every clause; the example re-checks every answer against a
+// brute-force plaintext oracle and exits non-zero on any mismatch, so it
+// doubles as an end-to-end acceptance test.
 //
 //   ./build/examples/financial_audit
 #include <algorithm>
 #include <cstdio>
 
 #include "adscrypto/params.hpp"
+#include "core/client.hpp"
 #include "core/cloud.hpp"
 #include "core/owner.hpp"
+#include "core/query.hpp"
 #include "core/user.hpp"
-#include "core/verify.hpp"
+#include "workload/workload.hpp"
 
 using namespace slicer;
 
+namespace {
+
+bool g_ok = true;
+
+std::vector<core::RecordId> oracle(const std::vector<core::MultiRecord>& db,
+                                   const core::QuerySpec& spec) {
+  std::vector<core::RecordId> out;
+  for (const core::MultiRecord& r : db)
+    if (core::eval_spec(spec, r)) out.push_back(r.id);
+  return out;
+}
+
+void check(const char* what, bool pass) {
+  if (!pass) {
+    std::printf("MISMATCH: %s\n", what);
+    g_ok = false;
+  }
+}
+
+}  // namespace
+
 int main() {
   core::Config config;
-  config.value_bits = 24;  // amounts in cents up to ~167k USD
+  config.value_bits = 12;  // shared attribute domain [0, 4096)
 
-  crypto::Drbg rng = crypto::Drbg::from_os_entropy();
-  auto [acc_params, acc_trapdoor] = adscrypto::RsaAccumulator::setup(rng, 1024);
+  // Deterministic end to end: same ledger, same answers, every run.
+  crypto::Drbg rng(str_bytes("financial-audit-example"));
+  auto [acc_params, acc_trapdoor] = adscrypto::RsaAccumulator::setup(rng, 512);
 
   core::DataOwner firm(config, core::Keys::generate(rng),
                        adscrypto::default_trapdoor_public_key(),
                        adscrypto::default_trapdoor_secret_key(), acc_params,
-                       acc_trapdoor, crypto::Drbg(rng.generate(32)));
+                       acc_trapdoor, crypto::Drbg(rng.generate(32)),
+                       /*shard_count=*/4);
   core::CloudServer cloud(adscrypto::default_trapdoor_public_key(), acc_params,
-                          config.prime_bits);
+                          config.prime_bits, /*shard_count=*/4);
 
-  // (amount in cents, risk score 0-100)
-  const std::vector<core::MultiRecord> ledger = {
-      {101, {{"amount", 1'250'00}, {"risk", 12}}},
-      {102, {{"amount", 89'00}, {"risk", 3}}},
-      {103, {{"amount", 9'999'00}, {"risk", 77}}},
-      {104, {{"amount", 15'000'00}, {"risk", 81}}},
-      {105, {{"amount", 420'00}, {"risk", 55}}},
-      {106, {{"amount", 9'999'00}, {"risk", 20}}},
+  // A realistic ledger: Zipf-skewed amounts (a few price points dominate)
+  // and a risk score that tracks the amount with ρ = 0.7 — large transfers
+  // tend to be the risky ones, which is what makes the auditor's
+  // cross-attribute conjunctions non-empty.
+  const std::vector<workload::AttributeSpec> attrs = {
+      {"amount", 12, workload::Distribution::kZipf, 0.0},
+      {"risk", 8, workload::Distribution::kUniform, 0.7},
   };
+  crypto::Drbg workload_rng(str_bytes("audit-ledger"));
+  const std::vector<core::MultiRecord> ledger =
+      workload::generate_multi(workload_rng, attrs, 400, /*id_base=*/1000);
   cloud.apply(firm.build(ledger));
-  std::printf("outsourced %zu transactions with 2 numerical attributes "
-              "(%zu index entries)\n\n",
-              ledger.size(), cloud.index().size());
+  std::printf("outsourced %zu transactions, amount~Zipf, risk ρ=0.7 "
+              "correlated (sample estimate %.2f), %zu index entries\n\n",
+              ledger.size(),
+              workload::correlation_estimate(ledger, "amount", "risk"),
+              cloud.index().size());
 
   core::DataUser auditor(firm.export_user_state(),
                          crypto::Drbg(rng.generate(32)));
+  core::QueryClient client(auditor, cloud, config.prime_bits);
 
-  auto audit = [&](const char* attr, std::uint64_t v, core::MatchCondition mc,
-                   const char* desc) {
-    const auto tokens = auditor.make_tokens(attr, v, mc);
-    const auto replies = cloud.search(tokens);
-    const bool ok = core::verify_query(acc_params, cloud.accumulator_value(),
-                                       tokens, replies, config.prime_bits);
-    auto ids = auditor.decrypt(replies);
-    std::sort(ids.begin(), ids.end());
-    std::printf("%-42s [proof %s] tx:", desc, ok ? "VALID" : "INVALID");
-    for (const auto id : ids) std::printf(" %llu", (unsigned long long)id);
-    std::printf("\n");
+  const auto audit = [&](const char* desc, const core::QuerySpec& spec) {
+    const core::QueryResult r = client.query(spec);
+    check(desc, r.verified && r.ids == oracle(ledger, spec));
+    std::printf("%-52s [%s] %zu tx, %zu clauses, %zu cached\n", desc,
+                r.verified ? "VERIFIED" : "UNVERIFIED", r.ids.size(),
+                r.clause_count, r.cached_clauses);
   };
 
-  audit("amount", 5'000'00, core::MatchCondition::kGreater,
-        "large transfers (amount > $5,000):");
-  audit("risk", 70, core::MatchCondition::kGreater,
-        "high-risk flags (risk > 70):");
-  audit("amount", 9'999'00, core::MatchCondition::kEqual,
-        "structuring check (amount == $9,999):");
-  audit("amount", 100'00, core::MatchCondition::kLess,
-        "petty cash (amount < $100):");
+  const core::Pred::Attr amount = core::Pred::attr("amount");
+  const core::Pred::Attr risk = core::Pred::attr("risk");
 
-  // Month-end close: forward-secure append of new transactions.
+  // Boolean audit questions — each a single planner query, one round trip.
+  audit("large transfers (amount > 3000):", amount.gt(3000));
+  audit("flagged OR large (risk > 200 || amount > 3000):",
+        risk.gt(200) || amount.gt(3000));
+  audit("mid-size AND flagged (amount in [1024,3072] && risk > 128):",
+        amount.between_inclusive(1024, 3072) && risk.gt(128));
+  audit("large but NOT flagged (amount > 3000 && !(risk > 128)):",
+        amount.gt(3000) && !risk.gt(128));
+
+  // Verified aggregates over the flagged population.
+  const core::QuerySpec flagged = risk.gt(200);
+  const std::vector<core::RecordId> flagged_ids = oracle(ledger, flagged);
+
+  const auto count = client.count(flagged);
+  check("COUNT(flagged)", count.verified && count.count == flagged_ids.size());
+  std::printf("\nCOUNT  flagged transactions: %zu  [%s]\n", count.count,
+              count.verified ? "VERIFIED" : "UNVERIFIED");
+
+  std::uint64_t max_amount = 0;
+  bool any = false;
+  for (const core::MultiRecord& r : ledger) {
+    if (!core::eval_spec(flagged, r)) continue;
+    for (const core::AttributeValue& av : r.values)
+      if (av.attribute == "amount") {
+        any = true;
+        max_amount = std::max(max_amount, av.value);
+      }
+  }
+  const auto mx = client.max_value("amount", flagged);
+  check("MAX(amount | flagged)",
+        mx.verified && mx.found == any && (!any || mx.value == max_amount));
+  std::printf("MAX    amount among flagged: %llu  (%zu verified probes)\n",
+              static_cast<unsigned long long>(mx.value), mx.probes);
+
+  const auto top = client.top_k("amount", flagged, 3);
+  check("TOP3(amount | flagged)", top.verified && (!any || !top.groups.empty()));
+  std::printf("TOP-3  flagged amounts:");
+  for (const auto& g : top.groups)
+    std::printf(" %llu(x%zu)", static_cast<unsigned long long>(g.value),
+                g.ids.size());
+  std::printf("  (%zu probes)\n", top.probes);
+
+  // Month-end close: forward-secure append. The combiner cache keys on the
+  // accumulator digest, so the repeated question cannot be served stale —
+  // it misses and re-verifies against the new state.
   std::printf("\n-- month-end close: two new transactions --\n");
-  const std::vector<core::MultiRecord> batch = {
-      {107, {{"amount", 12'345'00}, {"risk", 90}}},
-      {108, {{"amount", 75'00}, {"risk", 5}}},
+  std::vector<core::MultiRecord> batch = {
+      {2001, {{"amount", 3500}, {"risk", 250}}},
+      {2002, {{"amount", 75}, {"risk", 5}}},
   };
   cloud.apply(firm.insert(batch));
   auditor.refresh(firm.export_user_state());
-  audit("risk", 70, core::MatchCondition::kGreater,
-        "high-risk flags (risk > 70):");
+  std::vector<core::MultiRecord> closed = ledger;
+  closed.insert(closed.end(), batch.begin(), batch.end());
 
-  return 0;
+  const core::QuerySpec reflag = core::Pred::attr("risk").gt(200);
+  const core::QueryResult after = client.query(reflag);
+  check("post-close flagged query",
+        after.verified && after.ids == oracle(closed, reflag) &&
+            after.cached_clauses == 0);
+  std::printf("flagged after close: %zu tx  [%s, %zu cached — fresh proof]\n",
+              after.ids.size(), after.verified ? "VERIFIED" : "UNVERIFIED",
+              after.cached_clauses);
+
+  std::printf("\n%s\n", g_ok ? "audit complete: every answer verified and "
+                               "matched the plaintext oracle"
+                             : "AUDIT FAILED: unverified or wrong answer");
+  return g_ok ? 0 : 1;
 }

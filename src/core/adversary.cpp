@@ -44,6 +44,9 @@ std::string_view tamper_name(Tamper t) {
     case Tamper::kSwapAggregateWitnesses: return "swap_aggregate_witnesses";
     case Tamper::kDropAggregateShard: return "drop_aggregate_shard";
     case Tamper::kStaleAggregateReplay: return "stale_aggregate_replay";
+    case Tamper::kDropClause: return "drop_clause";
+    case Tamper::kSwapClauseReplies: return "swap_clause_replies";
+    case Tamper::kStaleClauseVO: return "stale_clause_vo";
   }
   return "unknown";
 }
@@ -331,9 +334,104 @@ MaliciousCloud::Output MaliciousCloud::search(
     case Tamper::kSwapAggregateWitnesses:
     case Tamper::kDropAggregateShard:
     case Tamper::kStaleAggregateReplay:
-      // Aggregate-only operations have no per-token reply to act on:
-      // honest passthrough, tampered stays false so soaks skip them.
+    case Tamper::kDropClause:
+    case Tamper::kSwapClauseReplies:
+    case Tamper::kStaleClauseVO:
+      // Aggregate-only and plan-only operations have no per-token reply to
+      // act on: honest passthrough, tampered stays false so soaks skip them.
       break;
+  }
+  return out;
+}
+
+void MaliciousCloud::record_stale_plan(
+    std::span<const ClauseRequest> requests) {
+  stale_plan_ = honest_.search_plan(requests);
+}
+
+MaliciousCloud::PlanOutput MaliciousCloud::search_plan(
+    std::span<const ClauseRequest> requests) const {
+  PlanOutput out;
+  switch (tamper_) {
+    case Tamper::kDropClause: {
+      out.replies = honest_.search_plan(requests);
+      if (out.replies.empty()) break;
+      out.replies.erase(out.replies.begin() + static_cast<std::ptrdiff_t>(
+                                                  rand(out.replies.size())));
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kSwapClauseReplies: {
+      out.replies = honest_.search_plan(requests);
+      if (out.replies.size() < 2) break;
+      const std::size_t i = rand(out.replies.size());
+      std::size_t k = rand(out.replies.size() - 1);
+      if (k >= i) ++k;
+      if (out.replies[i] == out.replies[k]) break;  // no-op swap
+      std::swap(out.replies[i], out.replies[k]);
+      out.tampered = true;
+      break;
+    }
+
+    case Tamper::kStaleClauseVO: {
+      out.replies = honest_.search_plan(requests);
+      if (stale_plan_.size() != out.replies.size())
+        break;  // record_stale_plan not run for this plan shape
+      // Serve ONE clause from the pre-update recording — the other clauses
+      // stay fresh, so only per-clause verification can catch it.
+      std::vector<std::size_t> changed;
+      for (std::size_t i = 0; i < out.replies.size(); ++i)
+        if (!(stale_plan_[i] == out.replies[i])) changed.push_back(i);
+      if (changed.empty()) break;  // nothing changed since recording
+      const std::size_t victim = changed[rand(changed.size())];
+      out.replies[victim] = stale_plan_[victim];
+      out.tampered = true;
+      break;
+    }
+
+    default: {
+      // Route a single-reply taxonomy member into one victim clause of a
+      // read path it can act on; every other clause answers honestly.
+      const bool aggregate_only = tamper_ == Tamper::kForgeAggregateWitness ||
+                                  tamper_ == Tamper::kSwapAggregateWitnesses ||
+                                  tamper_ == Tamper::kDropAggregateShard ||
+                                  tamper_ == Tamper::kStaleAggregateReplay;
+      const bool token_only = tamper_ == Tamper::kSwapWitnesses ||
+                              tamper_ == Tamper::kForgeWitness ||
+                              tamper_ == Tamper::kStaleReplay ||
+                              tamper_ == Tamper::kWrongAccumulator;
+      std::vector<std::size_t> victims;
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (aggregate_only && !requests[i].aggregated) continue;
+        if (token_only && requests[i].aggregated) continue;
+        victims.push_back(i);
+      }
+      const std::size_t victim =
+          victims.empty() ? requests.size() : victims[rand(victims.size())];
+      out.replies.reserve(requests.size());
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        ClauseReply reply;
+        reply.aggregated = requests[i].aggregated;
+        if (i == victim) {
+          if (requests[i].aggregated) {
+            AggregateOutput agg = search_aggregated(requests[i].tokens);
+            reply.query_reply = std::move(agg.reply);
+            out.tampered = agg.tampered;
+          } else {
+            Output tok = search(requests[i].tokens);
+            reply.replies = std::move(tok.replies);
+            out.tampered = tok.tampered;
+          }
+        } else if (requests[i].aggregated) {
+          reply.query_reply = honest_.search_aggregated(requests[i].tokens);
+        } else {
+          reply.replies = honest_.search(requests[i].tokens);
+        }
+        out.replies.push_back(std::move(reply));
+      }
+      break;
+    }
   }
   return out;
 }

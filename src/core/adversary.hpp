@@ -51,6 +51,10 @@ enum class Tamper {
   kSwapAggregateWitnesses,  ///< exchange the witnesses of two shard entries
   kDropAggregateShard,      ///< omit one touched shard's VO entry entirely
   kStaleAggregateReplay,    ///< replay a QueryReply recorded before an update
+  // Plan-level taxonomy (ClauseReply batch from search_plan):
+  kDropClause,         ///< omit one clause's reply from the batch
+  kSwapClauseReplies,  ///< exchange the replies of two clauses
+  kStaleClauseVO,      ///< serve one clause from a pre-update recording
 };
 
 /// Every per-token taxonomy member except kNone, in declaration order.
@@ -75,6 +79,16 @@ inline constexpr std::array<Tamper, 11> kAggregateTampers = {
     Tamper::kEmptyClaim,     Tamper::kForgeAggregateWitness,
     Tamper::kSwapAggregateWitnesses, Tamper::kDropAggregateShard,
     Tamper::kStaleAggregateReplay,
+};
+
+/// Taxonomy members that act on the clause batch of a plan search rather
+/// than on any single reply. Every member of kAllTampers/kAggregateTampers
+/// also applies on the plan path — search_plan routes it into one victim
+/// clause of the matching read path.
+inline constexpr std::array<Tamper, 3> kPlanTampers = {
+    Tamper::kDropClause,
+    Tamper::kSwapClauseReplies,
+    Tamper::kStaleClauseVO,
 };
 
 std::string_view tamper_name(Tamper t);
@@ -111,6 +125,23 @@ class MaliciousCloud {
   /// operation from kAggregateTampers applied to the QueryReply.
   AggregateOutput search_aggregated(std::span<const SearchToken> tokens) const;
 
+  struct PlanOutput {
+    std::vector<ClauseReply> replies;
+    /// Same skip semantics as Output::tampered.
+    bool tampered = false;
+  };
+
+  /// Plan-search counterpart. A kPlanTampers operation acts on the clause
+  /// batch itself (drop/swap/stale-replace whole clause replies); any other
+  /// taxonomy member is routed into one randomly chosen victim clause of a
+  /// read path it can act on, with the remaining clauses answered honestly.
+  PlanOutput search_plan(std::span<const ClauseRequest> requests) const;
+
+  /// Captures the honest clause replies for `requests` now; a later
+  /// kStaleClauseVO search_plan swaps one genuinely-changed clause reply
+  /// for its recorded (stale) version. Call before the owner's next update.
+  void record_stale_plan(std::span<const ClauseRequest> requests);
+
   /// Captures the honest replies for `tokens` now; a later kStaleReplay
   /// search returns them verbatim. Call before the owner's next update so
   /// the recorded accumulator/witness state is genuinely stale.
@@ -130,6 +161,7 @@ class MaliciousCloud {
   mutable std::uint64_t draws_ = 0;
   std::vector<TokenReply> stale_;
   QueryReply stale_agg_;
+  std::vector<ClauseReply> stale_plan_;
 };
 
 }  // namespace slicer::core

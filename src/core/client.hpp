@@ -1,25 +1,46 @@
 // QueryClient: the high-level verifiable query API.
 //
-// Glues DataUser token generation, CloudServer search and Algorithm-5
-// verification into one call, and composes the primitive conditions into
-// interval queries: `between(lo, hi)` intersects a ">" and a "<" search
-// client-side, so a two-sided range costs at most 2b tokens. Every result
-// carries per-token verification detail — callers decide what to do with
-// unverified answers (the blockchain path escalates instead; see
-// chain/slicer_contract.hpp).
+// One entry point does the work: `query(const QuerySpec&)` compiles a
+// boolean predicate tree (AND/OR/NOT over per-attribute interval/equality
+// leaves — see core/query.hpp) into a clause plan, executes every clause in
+// one batched cloud round trip (each clause on the legacy per-token or
+// aggregated read path), verifies every clause VO independently, and only
+// then combines the clause-verified result sets with set
+// intersection/union. The classic verbs (`equal`, `greater`, `less`,
+// `between`, `between_inclusive`) are one-line wrappers over the planner
+// with byte-identical results and verification detail.
 //
-// Every query verb has single-attribute and (attribute, ...) forms; the
-// single-attribute form queries the configured default attribute.
+// Verified aggregates (`count`, `min_value`, `max_value`, `top_k`) ride on
+// the same machinery: MIN/MAX run a verified binary search over the value
+// domain and top-k iterates it, with the per-clause result cache (below)
+// making the repeated spec clauses free instead of re-querying.
+//
+// Per-query behaviour is a QueryOptions struct (core/query.hpp). The
+// SLICER_AGGREGATE_VO / SLICER_STRICT_INTERVALS environment knobs are
+// *defaults* resolved through QueryOptions::defaults() at each call — pass
+// explicit options to override either per query.
 //
 // Empty intervals: a `between`/`between_inclusive` whose interval is
-// provably empty (lo >= hi, resp. lo > hi) returns an empty, verified
-// QueryResult without contacting the cloud — a provably empty query is not
-// an error. Set SLICER_STRICT_INTERVALS to restore the legacy behaviour of
-// throwing CryptoError (for callers that treat an empty interval as a bug
-// in their own query construction).
+// provably empty (hi <= lo + 1, resp. lo > hi) compiles to a verified-empty
+// plan node without contacting the cloud — a provably empty query is not an
+// error. QueryOptions::strict_intervals (default: the
+// SLICER_STRICT_INTERVALS knob) restores the legacy behaviour of throwing
+// CryptoError for callers that treat an empty interval as a bug in their
+// own query construction.
+//
+// Clause-result cache ("combiner cache"): verified per-clause outcomes are
+// memoized under a key that includes the cloud's current accumulator
+// digest, so a hit is exactly as fresh as a re-fetch — any update changes
+// the digest and misses the cache — and a stale VO can never be replayed
+// out of it. Capacity comes from the SLICER_PLAN_CACHE knob (clauses,
+// default 256, 0 disables).
 #pragma once
 
+#include <map>
+#include <string>
+
 #include "core/cloud.hpp"
+#include "core/query.hpp"
 #include "core/user.hpp"
 #include "core/verify.hpp"
 
@@ -28,14 +49,18 @@ namespace slicer::core {
 /// Outcome of a verifiable query.
 struct QueryResult {
   std::vector<RecordId> ids;    // sorted, deduplicated
-  bool verified = false;        // every token's proof checked out
+  bool verified = false;        // every clause's proof checked out
   std::size_t token_count = 0;  // search tokens sent to the cloud
   std::size_t tokens_verified = 0;  // tokens whose membership proof held
-  /// Per-token verification outcome and latency, in token submission
-  /// order (concatenated across the sub-queries of an interval). Empty
-  /// for a query that needed no tokens, and in aggregated-VO mode —
-  /// there the proof is per-shard, so no per-token attribution exists.
+  /// Per-token verification outcome and latency, concatenated in plan
+  /// clause order (for the classic verbs: the legacy sub-query submission
+  /// order). Empty for a query that needed no tokens, and for aggregated-VO
+  /// clauses — there the proof is per-shard, so no per-token attribution
+  /// exists. Cache-served clauses replay the detail recorded when their
+  /// proof was checked.
   std::vector<TokenVerification> token_detail;
+  std::size_t clause_count = 0;    // primitive clauses in the executed plan
+  std::size_t cached_clauses = 0;  // clauses served from the combiner cache
 };
 
 /// Picks the client's default VO mode from the SLICER_AGGREGATE_VO
@@ -46,17 +71,39 @@ bool default_aggregated_vo();
 /// High-level query front end over one (user, cloud) pair.
 class QueryClient {
  public:
-  /// `user` and `cloud` must outlive the client. `ac` is read from the
-  /// cloud on every query in the local-trust mode; pass an explicit
-  /// accumulator value (e.g. the one stored on chain) via the second
-  /// overloads to verify against trusted state instead.
-  /// `aggregated_vo` selects the read path: false keeps the legacy
-  /// per-token search+verify; true requests one aggregate witness per
-  /// touched shard and the O(K)-modexp verify_query_aggregated check.
+  /// `user` and `cloud` must outlive the client. The accumulator digest is
+  /// read from the cloud on every query in the local-trust mode; chain-
+  /// anchored callers verify the digest against the contract instead (see
+  /// chain/slicer_contract.hpp). `aggregated_vo` picks the default read
+  /// path for this client's queries: false keeps the legacy per-token
+  /// search+verify; true requests one aggregate witness per touched shard
+  /// and the O(K)-modexp verify_query_aggregated check. Either can be
+  /// overridden per query (and per clause) via QueryOptions / run_plan.
   QueryClient(DataUser& user, CloudServer& cloud, std::size_t prime_bits = 64,
               bool aggregated_vo = default_aggregated_vo());
 
   bool aggregated_vo() const { return aggregated_vo_; }
+
+  /// The per-query options this client resolves when none are passed:
+  /// QueryOptions::defaults() with the constructor's read-path choice.
+  QueryOptions options() const;
+
+  /// Compiles and executes a boolean predicate tree; the core primitive
+  /// every other query verb reduces to.
+  QueryResult query(const QuerySpec& spec);
+  QueryResult query(const QuerySpec& spec, const QueryOptions& options);
+
+  /// Compiles `spec` without executing it (inspect, retarget per-clause
+  /// read paths, then run_plan).
+  ClausePlan plan_for(const QuerySpec& spec) const;
+  ClausePlan plan_for(const QuerySpec& spec, const QueryOptions& options) const;
+
+  /// Executes a compiled plan: one batched cloud round trip for the
+  /// clauses the combiner cache cannot serve, per-clause verification, then
+  /// verified set combination up the plan tree.
+  QueryResult run_plan(const ClausePlan& plan);
+
+  // --- classic verbs: one-line wrappers over the planner ----------------
 
   QueryResult equal(std::uint64_t v);
   QueryResult greater(std::uint64_t v);
@@ -64,7 +111,7 @@ class QueryClient {
 
   /// Records with lo < value < hi (exclusive). An empty interval
   /// (hi <= lo + 1) yields an empty verified result — see the header
-  /// comment for SLICER_STRICT_INTERVALS.
+  /// comment for strict_intervals.
   QueryResult between(std::uint64_t lo, std::uint64_t hi);
 
   /// Records with lo <= value <= hi (inclusive); composed from the
@@ -81,19 +128,99 @@ class QueryClient {
   QueryResult between_inclusive(std::string_view attribute, std::uint64_t lo,
                                 std::uint64_t hi);
 
- private:
-  QueryResult run(std::string_view attribute, std::uint64_t v,
-                  MatchCondition mc);
+  // --- verified aggregates ----------------------------------------------
+
+  /// Verified COUNT: the size of the clause-verified result set.
+  struct CountResult {
+    std::size_t count = 0;
+    bool verified = false;
+  };
+
+  /// Verified MIN/MAX: the extreme value of `attribute` among the records
+  /// matching a spec, with the records attaining it.
+  struct ExtremeResult {
+    bool found = false;        ///< false when the spec matches no record
+    std::uint64_t value = 0;   ///< the extreme value (when found)
+    std::vector<RecordId> ids; ///< records attaining it, sorted
+    bool verified = false;     ///< every probe along the search verified
+    std::size_t probes = 0;    ///< verified binary-search probes spent
+  };
+
+  /// Verified top-k: the k largest attribute values among the records
+  /// matching a spec, each with the records attaining it.
+  struct TopKResult {
+    struct Entry {
+      std::uint64_t value = 0;
+      std::vector<RecordId> ids;  // sorted
+    };
+    std::vector<Entry> groups;  ///< descending by value; may be < k
+    bool verified = false;
+    std::size_t probes = 0;
+  };
+
+  CountResult count(const QuerySpec& spec);
+  CountResult count(const QuerySpec& spec, const QueryOptions& options);
+
+  /// MIN/MAX of `attribute` over the records matching `spec`, computed as
+  /// a verified binary search over the value domain: every probe is a
+  /// planner query (spec AND attribute <= mid, resp. >= mid), so the
+  /// result is exactly as verified as the underlying clause VOs. The
+  /// combiner cache serves the spec's own clauses after the first probe.
+  /// Single-argument forms aggregate over the default attribute.
+  ExtremeResult min_value(std::string_view attribute, const QuerySpec& spec);
+  ExtremeResult min_value(std::string_view attribute, const QuerySpec& spec,
+                          const QueryOptions& options);
+  ExtremeResult min_value(const QuerySpec& spec);
+  ExtremeResult max_value(std::string_view attribute, const QuerySpec& spec);
+  ExtremeResult max_value(std::string_view attribute, const QuerySpec& spec,
+                          const QueryOptions& options);
+  ExtremeResult max_value(const QuerySpec& spec);
+
+  /// Top-k by iterated verified MAX extraction: after each group the spec
+  /// narrows with (attribute < value) and the search repeats.
+  TopKResult top_k(std::string_view attribute, const QuerySpec& spec,
+                   std::size_t k);
+  TopKResult top_k(std::string_view attribute, const QuerySpec& spec,
+                   std::size_t k, const QueryOptions& options);
+  TopKResult top_k(const QuerySpec& spec, std::size_t k);
+
+  // --- deprecated unverified set helpers --------------------------------
+
+  /// Unverified client-side set combination of two results. Deprecated:
+  /// these merge ids regardless of whether either side verified — express
+  /// the combination as a QuerySpec instead and let the planner combine
+  /// only clause-verified sets.
+  [[deprecated(
+      "unverified set combination; compose a QuerySpec (a && b) so the "
+      "planner combines clause-verified sets")]]
   static QueryResult intersect(QueryResult a, QueryResult b);
+  [[deprecated(
+      "unverified set combination; compose a QuerySpec (a || b) so the "
+      "planner combines clause-verified sets")]]
   static QueryResult unite(QueryResult a, QueryResult b);
-  /// The provably-empty-interval outcome (or CryptoError under
-  /// SLICER_STRICT_INTERVALS).
-  static QueryResult empty_result(const char* what);
+
+ private:
+  /// A memoized clause outcome: everything run_plan needs to reuse a
+  /// verified clause without contacting the cloud.
+  struct CachedClause {
+    std::vector<RecordId> ids;  // sorted, deduplicated
+    std::size_t token_count = 0;
+    std::size_t tokens_verified = 0;
+    std::vector<TokenVerification> detail;
+  };
+
+  /// Cache key for one clause under one accumulator digest.
+  Bytes clause_key(const PlanClause& clause, const Bytes& digest) const;
+  /// Applies the SLICER_PLAN_CACHE capacity (FIFO eviction; 0 clears).
+  void trim_cache(std::size_t capacity);
 
   DataUser& user_;
   CloudServer& cloud_;
   std::size_t prime_bits_;
   bool aggregated_vo_;
+
+  std::map<Bytes, CachedClause> cache_;
+  std::vector<Bytes> cache_order_;  // insertion order, front evicted first
 };
 
 }  // namespace slicer::core

@@ -414,6 +414,32 @@ QueryReply CloudServer::search_aggregated(
   return out;
 }
 
+std::vector<ClauseReply> CloudServer::search_plan(
+    std::span<const ClauseRequest> requests) const {
+  static metrics::Histogram& plan_ns =
+      metrics::histogram("core.cloud.search_plan_ns");
+  static metrics::Counter& clauses_served =
+      metrics::counter("core.cloud.plan.clauses");
+  const metrics::ScopedTimer timer(plan_ns);
+  const trace::Span span("cloud.search_plan");
+  std::vector<ClauseReply> out;
+  out.reserve(requests.size());
+  // Clauses run sequentially here: each search()/search_aggregated() call
+  // already fans its tokens out on the pool, so nesting another layer of
+  // parallelism would only oversubscribe it.
+  for (const ClauseRequest& request : requests) {
+    ClauseReply reply;
+    reply.aggregated = request.aggregated;
+    if (request.aggregated)
+      reply.query_reply = search_aggregated(request.tokens);
+    else
+      reply.replies = search(request.tokens);
+    out.push_back(std::move(reply));
+    clauses_served.add();
+  }
+  return out;
+}
+
 void CloudServer::precompute_witnesses() {
   static metrics::Histogram& precompute_ns =
       metrics::histogram("core.cloud.precompute_witnesses_ns");

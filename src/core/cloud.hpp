@@ -24,6 +24,7 @@
 #include "core/index.hpp"
 #include "core/messages.hpp"
 #include "core/owner.hpp"
+#include "core/query.hpp"
 
 namespace slicer::core {
 
@@ -60,6 +61,14 @@ class CloudServer {
   /// ≤ shard_count() group elements regardless of token count. Verified by
   /// verify_query_aggregated; the legacy per-token search() stays intact.
   QueryReply search_aggregated(std::span<const SearchToken> tokens) const;
+
+  /// Batched plan search: answers every clause of a compiled query plan in
+  /// one call (one wire round trip through net/), each clause on its
+  /// requested read path — replies[i] answers requests[i] with the
+  /// matching shape. Per-clause VOs stay independent, so the client
+  /// verifies each clause on its own and combines only verified sets.
+  std::vector<ClauseReply> search_plan(
+      std::span<const ClauseRequest> requests) const;
 
   /// Result generation only (the Fig. 5a/5c timing component).
   std::vector<Bytes> fetch_results(const SearchToken& token) const;

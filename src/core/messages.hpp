@@ -38,6 +38,8 @@ struct TokenReply {
 
   /// Total wire size of the encrypted results (Fig. 6b/6c metric).
   std::size_t results_byte_size() const;
+
+  bool operator==(const TokenReply&) const = default;
 };
 
 /// One shard's entry of an aggregated VO: the membership witness of the

@@ -17,18 +17,24 @@ using RecordId = std::uint64_t;
 struct Record {
   RecordId id = 0;
   std::uint64_t value = 0;
+
+  bool operator==(const Record&) const = default;
 };
 
 /// One (attribute, value) pair of a multi-attribute record (§V-F).
 struct AttributeValue {
   std::string attribute;
   std::uint64_t value = 0;
+
+  bool operator==(const AttributeValue&) const = default;
 };
 
 /// A multi-attribute record (R, {(a, v)}).
 struct MultiRecord {
   RecordId id = 0;
   std::vector<AttributeValue> values;
+
+  bool operator==(const MultiRecord&) const = default;
 };
 
 /// User-facing matching condition mc ∈ {"=", ">", "<"}: which records a

@@ -242,4 +242,61 @@ AggregateVerification verify_query_aggregated_detailed(
   return out;
 }
 
+ClauseVerification verify_clause_reply(
+    const adscrypto::AccumulatorParams& params,
+    std::span<const bigint::BigUint> shard_values, const ClauseRequest& request,
+    const ClauseReply& reply, std::size_t prime_bits) {
+  ClauseVerification out;
+  // The reply must echo the requested read path and carry exactly that
+  // path's shape — a cloud answering a legacy clause with an aggregate VO
+  // (or smuggling both shapes) fails before any crypto is spent.
+  if (reply.aggregated != request.aggregated) return out;
+  if (request.aggregated) {
+    if (!reply.replies.empty()) return out;
+    out.verified = verify_query_aggregated(params, shard_values,
+                                           request.tokens, reply.query_reply,
+                                           prime_bits);
+    out.tokens_verified = out.verified ? request.tokens.size() : 0;
+  } else {
+    if (!reply.query_reply.token_results.empty() ||
+        !reply.query_reply.witnesses.empty())
+      return out;
+    QueryVerification v = verify_query_detailed(
+        params, shard_values, request.tokens, reply.replies, prime_bits);
+    out.verified = v.verified;
+    out.tokens_verified = v.tokens_verified;
+    out.tokens = std::move(v.tokens);
+  }
+  return out;
+}
+
+PlanVerification verify_plan(const adscrypto::AccumulatorParams& params,
+                             std::span<const bigint::BigUint> shard_values,
+                             std::span<const ClauseRequest> requests,
+                             std::span<const ClauseReply> replies,
+                             std::size_t prime_bits) {
+  static metrics::Counter& failures =
+      metrics::counter("core.verify.plan_failures");
+  const trace::Span span("verify.plan");
+  PlanVerification out;
+  // A dropped or surplus clause is a count mismatch; a swapped reply fails
+  // its clause's check below because every prime commits to (token,
+  // results) of the clause that produced it.
+  bool all = replies.size() == requests.size();
+  const std::size_t n = std::min(requests.size(), replies.size());
+  out.clauses.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.clauses.push_back(verify_clause_reply(params, shard_values,
+                                              requests[i], replies[i],
+                                              prime_bits));
+    if (out.clauses.back().verified)
+      ++out.clauses_verified;
+    else
+      all = false;
+  }
+  out.verified = all;
+  if (!out.verified) failures.add();
+  return out;
+}
+
 }  // namespace slicer::core

@@ -13,6 +13,7 @@
 
 #include "adscrypto/accumulator.hpp"
 #include "core/messages.hpp"
+#include "core/query.hpp"
 
 namespace slicer::core {
 
@@ -109,5 +110,43 @@ AggregateVerification verify_query_aggregated_detailed(
     std::span<const bigint::BigUint> shard_values,
     std::span<const SearchToken> tokens, const QueryReply& reply,
     std::size_t prime_bits = 64);
+
+/// Outcome of verifying one clause of a batched plan search.
+struct ClauseVerification {
+  bool verified = false;            ///< reply shape matched and proof held
+  std::size_t tokens_verified = 0;  ///< tokens whose proof held
+  /// Per-token detail (legacy read path only — the aggregated proof is
+  /// per-shard, so no per-token attribution exists there).
+  std::vector<TokenVerification> tokens;
+};
+
+/// Verifies one ClauseReply against the ClauseRequest it answers. The reply
+/// must echo the request's read path and carry exactly one reply shape
+/// (legacy per-token replies XOR an aggregated QueryReply); a mode or shape
+/// mismatch fails without touching the crypto. Each clause binds to its own
+/// tokens — every derived prime commits to (token, results), so a reply
+/// swapped in from another clause fails here even if it verifies in
+/// isolation.
+ClauseVerification verify_clause_reply(
+    const adscrypto::AccumulatorParams& params,
+    std::span<const bigint::BigUint> shard_values, const ClauseRequest& request,
+    const ClauseReply& reply, std::size_t prime_bits = 64);
+
+/// Outcome of verifying a whole clause plan's reply batch.
+struct PlanVerification {
+  bool verified = false;             ///< counts matched, every clause held
+  std::size_t clauses_verified = 0;  ///< clauses whose proof held
+  std::vector<ClauseVerification> clauses;  ///< one entry per request
+};
+
+/// Verifies a batched plan search: the reply batch must answer every
+/// request (a dropped or surplus clause fails), and each clause verifies
+/// independently via verify_clause_reply — so the verified set combiner
+/// above this only ever operates on clause-verified result sets.
+PlanVerification verify_plan(const adscrypto::AccumulatorParams& params,
+                             std::span<const bigint::BigUint> shard_values,
+                             std::span<const ClauseRequest> requests,
+                             std::span<const ClauseReply> replies,
+                             std::size_t prime_bits = 64);
 
 }  // namespace slicer::core

@@ -159,6 +159,13 @@ core::QueryReply SlicerClientChannel::search_aggregated(
   return core::QueryReply::deserialize(reply);
 }
 
+QueryPlanReply SlicerClientChannel::query_plan(
+    const QueryPlanRequest& request) {
+  const Bytes reply =
+      roundtrip_idempotent(Op::kQueryPlan, request.serialize());
+  return QueryPlanReply::deserialize(reply);
+}
+
 std::vector<Bytes> SlicerClientChannel::fetch(const core::SearchToken& token) {
   FetchRequest req;
   req.token = token;

@@ -92,6 +92,11 @@ class SlicerClientChannel {
   core::QueryReply search_aggregated(
       const std::vector<core::SearchToken>& tokens);
 
+  /// Whole-plan clause batch: every clause of a compiled boolean query in
+  /// one round trip, each served on its requested read path. Read-only,
+  /// so retried like search.
+  QueryPlanReply query_plan(const QueryPlanRequest& request);
+
   /// Results only (no VO). Retried.
   std::vector<Bytes> fetch(const core::SearchToken& token);
 

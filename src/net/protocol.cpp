@@ -14,6 +14,7 @@ std::string_view op_name(Op op) {
     case Op::kFetch: return "fetch";
     case Op::kProve: return "prove";
     case Op::kPing: return "ping";
+    case Op::kQueryPlan: return "query_plan";
     case Op::kHelloOk: return "hello_ok";
     case Op::kApplyOk: return "apply_ok";
     case Op::kSearchReply: return "search_reply";
@@ -21,6 +22,7 @@ std::string_view op_name(Op op) {
     case Op::kFetchReply: return "fetch_reply";
     case Op::kProveReply: return "prove_reply";
     case Op::kPong: return "pong";
+    case Op::kQueryPlanReply: return "query_plan_reply";
     case Op::kError: return "error";
   }
   return "unknown";
@@ -157,6 +159,85 @@ ProveRequest ProveRequest::deserialize(BytesView data) {
   const std::uint32_t n = r.count(4);
   out.results.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.results.push_back(r.bytes());
+  r.expect_end();
+  return out;
+}
+
+Bytes QueryPlanRequest::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(clauses.size()));
+  for (const core::ClauseRequest& clause : clauses) {
+    w.u8(clause.aggregated ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(clause.tokens.size()));
+    for (const core::SearchToken& t : clause.tokens) w.bytes(t.serialize());
+  }
+  return std::move(w).take();
+}
+
+QueryPlanRequest QueryPlanRequest::deserialize(BytesView data) {
+  Reader r(data);
+  QueryPlanRequest out;
+  // Every clause occupies at least mode (1) + token count (4) bytes.
+  const std::uint32_t n = r.count(5);
+  out.clauses.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    core::ClauseRequest clause;
+    const std::uint8_t mode = r.u8();
+    if (mode > 1) throw DecodeError("query_plan: bad clause mode byte");
+    clause.aggregated = mode == 1;
+    const std::uint32_t t = r.count(4);
+    clause.tokens.reserve(t);
+    for (std::uint32_t k = 0; k < t; ++k)
+      clause.tokens.push_back(core::SearchToken::deserialize(r.bytes()));
+    out.clauses.push_back(std::move(clause));
+  }
+  r.expect_end();
+  return out;
+}
+
+Bytes QueryPlanReply::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(clauses.size()));
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    const core::ClauseReply& clause = clauses[i];
+    w.u32(static_cast<std::uint32_t>(i));  // sequence-ordered clause tag
+    w.u8(clause.aggregated ? 1 : 0);
+    if (clause.aggregated) {
+      w.bytes(clause.query_reply.serialize());
+    } else {
+      w.u32(static_cast<std::uint32_t>(clause.replies.size()));
+      for (const core::TokenReply& reply : clause.replies)
+        w.bytes(reply.serialize());
+    }
+  }
+  return std::move(w).take();
+}
+
+QueryPlanReply QueryPlanReply::deserialize(BytesView data) {
+  Reader r(data);
+  QueryPlanReply out;
+  // Every clause occupies at least index (4) + mode (1) + 4 payload bytes.
+  const std::uint32_t n = r.count(9);
+  out.clauses.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // The clause tag must be exactly the position: strictly ascending and
+    // contiguous, so permuted/omitted/duplicated entries fail to decode.
+    if (r.u32() != i)
+      throw DecodeError("query_plan_reply: clause replies out of sequence");
+    core::ClauseReply clause;
+    const std::uint8_t mode = r.u8();
+    if (mode > 1) throw DecodeError("query_plan_reply: bad clause mode byte");
+    clause.aggregated = mode == 1;
+    if (clause.aggregated) {
+      clause.query_reply = core::QueryReply::deserialize(r.bytes());
+    } else {
+      const std::uint32_t t = r.count(4);
+      clause.replies.reserve(t);
+      for (std::uint32_t k = 0; k < t; ++k)
+        clause.replies.push_back(core::TokenReply::deserialize(r.bytes()));
+    }
+    out.clauses.push_back(std::move(clause));
+  }
   r.expect_end();
   return out;
 }

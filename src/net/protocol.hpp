@@ -22,6 +22,7 @@
 
 #include "core/messages.hpp"
 #include "core/owner.hpp"
+#include "core/query.hpp"
 #include "net/frame.hpp"
 
 namespace slicer::net {
@@ -38,6 +39,7 @@ enum class Op : std::uint8_t {
   kFetch = 0x05,
   kProve = 0x06,
   kPing = 0x07,
+  kQueryPlan = 0x08,
 
   kHelloOk = 0x81,
   kApplyOk = 0x82,
@@ -46,6 +48,7 @@ enum class Op : std::uint8_t {
   kFetchReply = 0x85,
   kProveReply = 0x86,
   kPong = 0x87,
+  kQueryPlanReply = 0x88,
 
   kError = 0xEE,
 };
@@ -135,6 +138,31 @@ struct ProveRequest {
   Bytes serialize() const;
   static ProveRequest deserialize(BytesView data);
   bool operator==(const ProveRequest&) const = default;
+};
+
+/// QUERY_PLAN request: the clause batch of one compiled query plan. Each
+/// clause carries its read path (0 = legacy per-token VOs, 1 = aggregated)
+/// and its search tokens, so one frame serves a whole boolean query.
+struct QueryPlanRequest {
+  std::vector<core::ClauseRequest> clauses;
+
+  Bytes serialize() const;
+  static QueryPlanRequest deserialize(BytesView data);
+  bool operator==(const QueryPlanRequest&) const = default;
+};
+
+/// QUERY_PLAN reply: one ClauseReply per requested clause. Every entry is
+/// tagged with its clause index, which the strict decoder requires to be
+/// exactly 0, 1, 2, … — sequence-ordered per-clause replies. A batch that
+/// permutes, omits or duplicates clause tags is a DecodeError at the
+/// framing layer; a semantically swapped or stale clause *payload* still
+/// decodes and is caught by the per-clause VO checks (core::verify_plan).
+struct QueryPlanReply {
+  std::vector<core::ClauseReply> clauses;
+
+  Bytes serialize() const;
+  static QueryPlanReply deserialize(BytesView data);
+  bool operator==(const QueryPlanReply&) const = default;
 };
 
 /// The kError payload: a stable machine-readable code ("decode",

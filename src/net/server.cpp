@@ -260,6 +260,14 @@ struct SlicerServer::Impl {
               tenant.cloud->prove(req.token, std::move(req.results));
           return encode_frame(reply, out.serialize(), max);
         }
+        case Op::kQueryPlan: {
+          const QueryPlanRequest req =
+              QueryPlanRequest::deserialize(frame.payload);
+          std::shared_lock lock(tenant.mu);
+          QueryPlanReply out;
+          out.clauses = tenant.cloud->search_plan(req.clauses);
+          return encode_frame(reply, out.serialize(), max);
+        }
         default:
           return error_frame("protocol",
                              "unknown opcode " + std::to_string(frame.opcode),
@@ -352,7 +360,8 @@ struct SlicerServer::Impl {
     }
     const bool known_op = op == Op::kPing || op == Op::kApply ||
                           op == Op::kSearch || op == Op::kSearchAggregated ||
-                          op == Op::kFetch || op == Op::kProve;
+                          op == Op::kFetch || op == Op::kProve ||
+                          op == Op::kQueryPlan;
     if (!known_op) {
       const bool banned = record_misbehavior(tenant, kUnknownOpcodePoints);
       conn->stage_reply(conn->next_seq++,

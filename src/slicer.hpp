@@ -44,6 +44,7 @@
 #include "core/cloud.hpp"
 #include "core/messages.hpp"
 #include "core/owner.hpp"
+#include "core/query.hpp"
 #include "core/types.hpp"
 #include "core/user.hpp"
 #include "core/verify.hpp"

@@ -1,5 +1,6 @@
 #include "workload/workload.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
@@ -109,6 +110,81 @@ std::size_t distinct_values(const std::vector<core::Record>& records) {
   std::unordered_set<std::uint64_t> seen;
   for (const core::Record& r : records) seen.insert(r.value);
   return seen.size();
+}
+
+std::vector<core::MultiRecord> generate_multi(
+    crypto::Drbg& rng, const std::vector<AttributeSpec>& attrs,
+    std::size_t count, std::uint64_t id_base) {
+  if (attrs.empty())
+    throw CryptoError("workload: generate_multi needs at least one attribute");
+  const std::uint64_t primary_domain = domain_of(attrs.front().bits);
+  std::vector<core::MultiRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    core::MultiRecord record;
+    record.id = id_base + i;
+    record.values.reserve(attrs.size());
+    const std::uint64_t primary =
+        sample_value(rng, attrs.front().dist, attrs.front().bits);
+    record.values.push_back(core::AttributeValue{attrs.front().name, primary});
+    for (std::size_t a = 1; a < attrs.size(); ++a) {
+      const AttributeSpec& spec = attrs[a];
+      const std::uint64_t domain = domain_of(spec.bits);
+      // ρ-blend: follow the primary (rescaled into this domain) with
+      // probability ρ, draw independently otherwise. The coin is drawn
+      // unconditionally so the stream layout — and thus every subsequent
+      // value — does not depend on ρ.
+      constexpr std::uint64_t kCoinScale = 1u << 20;
+      const bool follow =
+          rng.uniform(kCoinScale) <
+          static_cast<std::uint64_t>(
+              std::clamp(spec.correlation, 0.0, 1.0) *
+              static_cast<double>(kCoinScale));
+      const std::uint64_t independent =
+          sample_value(rng, spec.dist, spec.bits);
+      const std::uint64_t rescaled = static_cast<std::uint64_t>(
+          static_cast<double>(primary) / static_cast<double>(primary_domain) *
+          static_cast<double>(domain));
+      record.values.push_back(core::AttributeValue{
+          spec.name, follow ? std::min(rescaled, domain - 1) : independent});
+    }
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+double correlation_estimate(const std::vector<core::MultiRecord>& records,
+                            const std::string& a, const std::string& b) {
+  std::vector<double> xs, ys;
+  for (const core::MultiRecord& r : records) {
+    const std::uint64_t* x = nullptr;
+    const std::uint64_t* y = nullptr;
+    for (const core::AttributeValue& av : r.values) {
+      if (av.attribute == a) x = &av.value;
+      if (av.attribute == b) y = &av.value;
+    }
+    if (x != nullptr && y != nullptr) {
+      xs.push_back(static_cast<double>(*x));
+      ys.push_back(static_cast<double>(*y));
+    }
+  }
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0 || syy == 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
 }
 
 }  // namespace slicer::workload

@@ -5,9 +5,15 @@
 // costs are sensitive to the *distinct-keyword* count, which duplicates
 // suppress. This module provides the distributions the distribution
 // ablation sweeps (bench/ablation_distribution.cpp).
+// Multi-attribute workloads (generate_multi) extend this to the boolean
+// query planner's needs: per-attribute distributions with tunable
+// correlation to the primary attribute, so AND/OR plans see realistic
+// selectivity interplay (a conjunction over independent attributes is
+// near-empty; over correlated ones it is not).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/types.hpp"
@@ -37,5 +43,31 @@ std::uint64_t sample_value(crypto::Drbg& rng, Distribution dist,
 
 /// Number of distinct values in a record set (keyword-pressure metric).
 std::size_t distinct_values(const std::vector<core::Record>& records);
+
+/// One attribute of a multi-attribute workload.
+struct AttributeSpec {
+  std::string name;
+  std::size_t bits = 16;
+  Distribution dist = Distribution::kUniform;
+  /// Correlation knob ρ ∈ [0, 1] against the FIRST (primary) attribute:
+  /// each record draws this attribute as the primary value rescaled into
+  /// this attribute's domain with probability ρ, and as an independent
+  /// `dist` sample otherwise. Ignored on the primary attribute itself.
+  /// ρ=0 gives independent columns, ρ=1 a deterministic function of the
+  /// primary — the blend interpolates the rank correlation between them.
+  double correlation = 0.0;
+};
+
+/// Generates `count` multi-attribute records per `attrs` (first entry is
+/// the primary attribute). Deterministic given the DRBG state.
+std::vector<core::MultiRecord> generate_multi(
+    crypto::Drbg& rng, const std::vector<AttributeSpec>& attrs,
+    std::size_t count, std::uint64_t id_base = 1);
+
+/// Sample Pearson correlation of two attributes over the records carrying
+/// both (0 when fewer than two such records, or either column is
+/// constant). Validates the generate_multi correlation knob.
+double correlation_estimate(const std::vector<core::MultiRecord>& records,
+                            const std::string& a, const std::string& b);
 
 }  // namespace slicer::workload

@@ -115,6 +115,104 @@ TEST(AdversarySoak, FullTaxonomyAcrossSeeds) {
         << tamper_name(tamper) << " rarely applied — soak lost coverage";
 }
 
+// Plan-level soak: the clause-batch taxonomy (drop / swap / stale clause)
+// plus every per-token and aggregate tamper routed into one victim clause,
+// across (rig seed x adversary seed) combinations with mixed per-clause
+// read paths. verify_plan must reject every semantic tamper and accept the
+// benign ones.
+TEST(AdversarySoak, PlanTaxonomyAcrossSeeds) {
+  const std::vector<std::string> rig_seeds = {"plan-soak-a", "plan-soak-b"};
+  constexpr int kAdversarySeedsPerRig = 10;
+
+  std::map<Tamper, int> bite_count;
+  int combos = 0;
+  RecordId next_id = 5000;
+
+  for (const std::string& rig_seed : rig_seeds) {
+    Rig rig = Rig::make(8, rig_seed, {}, 2);
+    rig.ingest({{1, 42}, {2, 42}, {3, 7}, {4, 99}, {5, 120}, {6, 42},
+                {7, 13}, {8, 200}, {9, 55}, {10, 90}, {11, 33}, {12, 160}});
+
+    for (int adv = 0; adv < kAdversarySeedsPerRig; ++adv, ++combos) {
+      const std::uint64_t seed =
+          0x914eULL * 1000 + static_cast<std::uint64_t>(adv) +
+          (rig_seed == rig_seeds[0] ? 0 : 1'000'000);
+      const std::uint64_t pivot = std::array<std::uint64_t, 5>{
+          40, 12, 90, 54, 6}[static_cast<std::size_t>(adv) % 5];
+
+      // A two-clause plan (v > pivot, v < pivot) with mixed read paths:
+      // the mode split rotates with the adversary seed so every tamper
+      // sees both pure and mixed batches.
+      std::vector<ClauseRequest> requests(2);
+      requests[0].aggregated = adv % 3 == 1;
+      requests[0].tokens =
+          rig.user->make_tokens(pivot, MatchCondition::kGreater);
+      requests[1].aggregated = adv % 3 != 2;
+      requests[1].tokens = rig.user->make_tokens(pivot, MatchCondition::kLess);
+
+      const auto honest = rig.cloud->search_plan(requests);
+      ASSERT_TRUE(verify_plan(rig.acc_params, rig.cloud->shard_values(),
+                              requests, honest, rig.config.prime_bits)
+                      .verified);
+
+      auto soak_case = [&](Tamper tamper, const MaliciousCloud::PlanOutput& out) {
+        const PlanVerification pv =
+            verify_plan(rig.acc_params, rig.cloud->shard_values(), requests,
+                        out.replies, rig.config.prime_bits);
+        if (!out.tampered || tamper_is_benign(tamper)) {
+          EXPECT_TRUE(pv.verified)
+              << "false reject: " << tamper_name(tamper) << " seed=" << seed;
+        } else {
+          EXPECT_FALSE(pv.verified)
+              << "false accept: " << tamper_name(tamper) << " seed=" << seed;
+        }
+        if (out.tampered) ++bite_count[tamper];
+      };
+
+      {
+        MaliciousCloud control(*rig.cloud, Tamper::kNone, seed);
+        soak_case(Tamper::kNone, control.search_plan(requests));
+      }
+      // The clause-batch taxonomy (stale-clause last: it needs an update).
+      for (const Tamper tamper : kPlanTampers) {
+        if (tamper == Tamper::kStaleClauseVO) continue;
+        MaliciousCloud mal(*rig.cloud, tamper, seed);
+        soak_case(tamper, mal.search_plan(requests));
+      }
+      // Every single-reply tamper, routed into a mode-compatible victim
+      // clause of the batch.
+      for (const Tamper tamper : kAllTampers) {
+        if (tamper == Tamper::kStaleReplay) continue;
+        MaliciousCloud mal(*rig.cloud, tamper, seed);
+        soak_case(tamper, mal.search_plan(requests));
+      }
+      for (const Tamper tamper : kAggregateTampers) {
+        if (tamper == Tamper::kStaleAggregateReplay) continue;
+        MaliciousCloud mal(*rig.cloud, tamper, seed);
+        soak_case(tamper, mal.search_plan(requests));
+      }
+
+      // Stale clause VO: record, update, replay one changed clause.
+      {
+        MaliciousCloud mal(*rig.cloud, Tamper::kStaleClauseVO, seed);
+        mal.record_stale_plan(requests);
+        rig.ingest({{next_id++, pivot + 1}});
+        const auto honest_after = rig.cloud->search_plan(requests);
+        ASSERT_TRUE(verify_plan(rig.acc_params, rig.cloud->shard_values(),
+                                requests, honest_after, rig.config.prime_bits)
+                        .verified)
+            << "old tokens must stay verifiable after an update";
+        soak_case(Tamper::kStaleClauseVO, mal.search_plan(requests));
+      }
+    }
+  }
+
+  EXPECT_EQ(combos, 20);
+  for (const Tamper tamper : kPlanTampers)
+    EXPECT_GE(bite_count[tamper], combos / 2)
+        << tamper_name(tamper) << " rarely applied - soak lost coverage";
+}
+
 TEST(AdversarySoak, EmptyResultQueriesStillSoak) {
   Rig rig = Rig::make(8, "soak-empty");
   rig.ingest({{1, 10}, {2, 20}, {3, 30}});

@@ -260,6 +260,141 @@ TEST(Protocol, EmbeddedMessageCodecsRejectTrailingBytes) {
   EXPECT_THROW(core::UpdateOutput::deserialize(u), DecodeError);
 }
 
+// --- query-plan codec ---------------------------------------------------
+
+core::SearchToken plan_token(char tag) {
+  core::SearchToken token;
+  token.trapdoor = str_bytes(std::string("trapdoor-") + tag);
+  token.j = 2;
+  token.g1 = str_bytes(std::string("g1-") + tag);
+  token.g2 = str_bytes(std::string("g2-") + tag);
+  return token;
+}
+
+QueryPlanRequest sample_plan_request() {
+  QueryPlanRequest req;
+  core::ClauseRequest legacy;
+  legacy.aggregated = false;
+  legacy.tokens = {plan_token('a'), plan_token('b')};
+  core::ClauseRequest aggregated;
+  aggregated.aggregated = true;
+  aggregated.tokens = {plan_token('c')};
+  req.clauses = {legacy, aggregated};
+  return req;
+}
+
+QueryPlanReply sample_plan_reply() {
+  QueryPlanReply reply;
+  core::ClauseReply legacy;
+  legacy.aggregated = false;
+  core::TokenReply tr;
+  tr.encrypted_results = {Bytes(16, 0x11), Bytes(16, 0x22)};
+  tr.witness = bigint::BigUint(12345);
+  legacy.replies = {tr, tr};
+  core::ClauseReply aggregated;
+  aggregated.aggregated = true;
+  aggregated.query_reply.token_results = {{Bytes(16, 0x33)}};
+  aggregated.query_reply.witnesses = {{0, bigint::BigUint(777)},
+                                      {2, bigint::BigUint(888)}};
+  reply.clauses = {legacy, aggregated};
+  return reply;
+}
+
+TEST(Protocol, QueryPlanOpcodes) {
+  EXPECT_EQ(reply_op(Op::kQueryPlan), Op::kQueryPlanReply);
+  EXPECT_EQ(op_name(Op::kQueryPlan), "query_plan");
+  EXPECT_EQ(op_name(Op::kQueryPlanReply), "query_plan_reply");
+}
+
+TEST(Protocol, QueryPlanRequestRoundTrip) {
+  const QueryPlanRequest req = sample_plan_request();
+  EXPECT_EQ(QueryPlanRequest::deserialize(req.serialize()), req);
+  EXPECT_EQ(QueryPlanRequest::deserialize(QueryPlanRequest{}.serialize()),
+            QueryPlanRequest{});
+}
+
+TEST(Protocol, QueryPlanReplyRoundTrip) {
+  const QueryPlanReply reply = sample_plan_reply();
+  EXPECT_EQ(QueryPlanReply::deserialize(reply.serialize()), reply);
+}
+
+TEST(Protocol, QueryPlanRejectsTrailingBytes) {
+  Bytes req = sample_plan_request().serialize();
+  req.push_back(0x00);
+  EXPECT_THROW(QueryPlanRequest::deserialize(req), DecodeError);
+  Bytes reply = sample_plan_reply().serialize();
+  reply.push_back(0x00);
+  EXPECT_THROW(QueryPlanReply::deserialize(reply), DecodeError);
+}
+
+TEST(Protocol, QueryPlanRejectsBadModeByte) {
+  Writer w;
+  w.u32(1);
+  w.u8(2);  // mode byte not in {0, 1}
+  w.u32(0);
+  EXPECT_THROW(QueryPlanRequest::deserialize(std::move(w).take()),
+               DecodeError);
+}
+
+TEST(Protocol, QueryPlanReplyRequiresSequenceOrder) {
+  // Re-encode the reply with permuted clause tags: the strict decoder must
+  // reject any order but 0, 1, 2, ... (omission and duplication included).
+  const QueryPlanReply reply = sample_plan_reply();
+  const auto encode_with_tags = [&](std::uint32_t tag0, std::uint32_t tag1) {
+    Writer w;
+    w.u32(2);
+    for (std::size_t i = 0; i < 2; ++i) {
+      const core::ClauseReply& clause = reply.clauses[i];
+      w.u32(i == 0 ? tag0 : tag1);
+      w.u8(clause.aggregated ? 1 : 0);
+      if (clause.aggregated) {
+        w.bytes(clause.query_reply.serialize());
+      } else {
+        w.u32(static_cast<std::uint32_t>(clause.replies.size()));
+        for (const core::TokenReply& tr : clause.replies)
+          w.bytes(tr.serialize());
+      }
+    }
+    return std::move(w).take();
+  };
+  EXPECT_NO_THROW(QueryPlanReply::deserialize(encode_with_tags(0, 1)));
+  EXPECT_THROW(QueryPlanReply::deserialize(encode_with_tags(1, 0)),
+               DecodeError);  // permuted
+  EXPECT_THROW(QueryPlanReply::deserialize(encode_with_tags(0, 0)),
+               DecodeError);  // duplicated
+  EXPECT_THROW(QueryPlanReply::deserialize(encode_with_tags(0, 2)),
+               DecodeError);  // gap
+}
+
+TEST(Protocol, QueryPlanFuzzLiteCorpus) {
+  // Truncations and single-byte corruptions of both codecs: any outcome
+  // except a crash/hang is fine; a decoded value must re-serialize
+  // byte-identically (canonical form).
+  for (const Bytes& good :
+       {sample_plan_request().serialize(), sample_plan_reply().serialize()}) {
+    std::vector<Bytes> corpus;
+    for (std::size_t len = 0; len < good.size(); ++len)
+      corpus.emplace_back(good.begin(), good.begin() + len);
+    for (std::size_t i = 0; i < good.size(); ++i) {
+      Bytes mutated = good;
+      mutated[i] ^= 0xFF;
+      corpus.push_back(std::move(mutated));
+    }
+    for (const Bytes& input : corpus) {
+      try {
+        const QueryPlanRequest req = QueryPlanRequest::deserialize(input);
+        EXPECT_EQ(req.serialize(), input);
+      } catch (const DecodeError&) {
+      }
+      try {
+        const QueryPlanReply reply = QueryPlanReply::deserialize(input);
+        EXPECT_EQ(reply.serialize(), input);
+      } catch (const DecodeError&) {
+      }
+    }
+  }
+}
+
 TEST(Protocol, UpdateOutputRoundTrip) {
   core::UpdateOutput update;
   update.entries = {{str_bytes("addr-0"), str_bytes("data-0")},

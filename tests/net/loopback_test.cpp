@@ -109,6 +109,25 @@ void run_every_opcode(std::size_t threads) {
   EXPECT_TRUE(core::verify_reply(rig.acc_params, rig.owner->shard_values(),
                                  tokens[0], proof, rig.config.prime_bits));
 
+  // kQueryPlan: a whole clause batch (one legacy, one aggregated clause) in
+  // one round trip, verified per clause through verify_plan.
+  QueryPlanRequest plan;
+  plan.clauses.resize(2);
+  plan.clauses[0].aggregated = false;
+  plan.clauses[0].tokens = tokens;
+  plan.clauses[1].aggregated = true;
+  plan.clauses[1].tokens = rig.user->make_tokens(42, MatchCondition::kLess);
+  const QueryPlanReply plan_reply = ch.query_plan(plan);
+  const core::PlanVerification pv =
+      core::verify_plan(rig.acc_params, rig.owner->shard_values(),
+                        plan.clauses, plan_reply.clauses,
+                        rig.config.prime_bits);
+  EXPECT_TRUE(pv.verified);
+  ASSERT_EQ(plan_reply.clauses.size(), 2u);
+  auto plan_ids = rig.user->decrypt(plan_reply.clauses[0].replies);
+  std::sort(plan_ids.begin(), plan_ids.end());
+  EXPECT_EQ(plan_ids, ids);  // clause 0 answers the same gt-42 query
+
   server.stop();
 }
 

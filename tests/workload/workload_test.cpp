@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 
 #include "common/errors.hpp"
@@ -82,6 +83,83 @@ TEST(Workload, RejectsBadWidths) {
   auto rng = test_rng();
   EXPECT_THROW(sample_value(rng, Distribution::kUniform, 0), CryptoError);
   EXPECT_THROW(sample_value(rng, Distribution::kUniform, 64), CryptoError);
+}
+
+// --- multi-attribute workloads ------------------------------------------
+
+TEST(WorkloadMulti, GeneratesAllAttributesInDomainDeterministically) {
+  const std::vector<AttributeSpec> attrs = {
+      {"amount", 12, Distribution::kZipf, 0.0},
+      {"risk", 8, Distribution::kUniform, 0.5},
+      {"region", 4, Distribution::kClustered, 0.0},
+  };
+  auto rng1 = test_rng();
+  auto rng2 = test_rng();
+  const auto a = generate_multi(rng1, attrs, 300, 100);
+  const auto b = generate_multi(rng2, attrs, 300, 100);
+  ASSERT_EQ(a.size(), 300u);
+  EXPECT_EQ(a, b);  // deterministic
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, 100 + i);
+    ASSERT_EQ(a[i].values.size(), attrs.size());
+    for (std::size_t j = 0; j < attrs.size(); ++j) {
+      EXPECT_EQ(a[i].values[j].attribute, attrs[j].name);
+      EXPECT_LT(a[i].values[j].value, 1ull << attrs[j].bits);
+    }
+  }
+}
+
+TEST(WorkloadMulti, CorrelationKnobOrdersSampleCorrelation) {
+  const auto with_rho = [](double rho) {
+    const std::vector<AttributeSpec> attrs = {
+        {"x", 12, Distribution::kUniform, 0.0},
+        {"y", 12, Distribution::kUniform, rho},
+    };
+    auto rng = test_rng();
+    const auto records = generate_multi(rng, attrs, 3000);
+    return correlation_estimate(records, "x", "y");
+  };
+  const double none = with_rho(0.0);
+  const double half = with_rho(0.5);
+  const double full = with_rho(1.0);
+  EXPECT_LT(std::abs(none), 0.1);  // independent columns
+  EXPECT_GT(half, none + 0.2);     // the knob moves the estimate...
+  EXPECT_GT(full, 0.95);           // ...up to a deterministic function
+}
+
+TEST(WorkloadMulti, CorrelationDrawsDoNotPerturbTheStream) {
+  // The coin + independent sample are drawn unconditionally, so changing
+  // one attribute's rho must not change any OTHER attribute's values.
+  const auto generate_z = [](double rho_y) {
+    const std::vector<AttributeSpec> attrs = {
+        {"x", 10, Distribution::kUniform, 0.0},
+        {"y", 10, Distribution::kUniform, rho_y},
+        {"z", 10, Distribution::kGaussian, 0.25},
+    };
+    auto rng = test_rng();
+    std::vector<std::uint64_t> z;
+    for (const auto& r : generate_multi(rng, attrs, 200))
+      z.push_back(r.values[2].value);
+    return z;
+  };
+  EXPECT_EQ(generate_z(0.0), generate_z(0.9));
+}
+
+TEST(WorkloadMulti, CorrelationEstimateDegenerateCases) {
+  EXPECT_EQ(correlation_estimate({}, "x", "y"), 0.0);
+  // Records missing one of the attributes are skipped; constant columns
+  // report 0 instead of dividing by zero.
+  const std::vector<core::MultiRecord> constant = {
+      {1, {{"x", 5}, {"y", 1}}}, {2, {{"x", 5}, {"y", 9}}}};
+  EXPECT_EQ(correlation_estimate(constant, "x", "y"), 0.0);
+  const std::vector<core::MultiRecord> sparse = {{1, {{"x", 5}}},
+                                                 {2, {{"y", 9}}}};
+  EXPECT_EQ(correlation_estimate(sparse, "x", "y"), 0.0);
+}
+
+TEST(WorkloadMulti, RejectsEmptyAttributeList) {
+  auto rng = test_rng();
+  EXPECT_THROW(generate_multi(rng, {}, 10), CryptoError);
 }
 
 }  // namespace

@@ -28,6 +28,11 @@ Structural checks ride along:
     the verifier's total squaring count unchanged (the exponent bits just
     concatenate), so wall-time parity is expected — the bandwidth saving
     is the point, and it is checked exactly.
+  * for BENCH_planner.json, every read-path × clause-count × selectivity
+    grid cell must be present with a sane clause count, the verified
+    aggregates (COUNT/MIN/MAX/top-k) must have run (with binary-search
+    probes spent), and the combiner-cache warm row must be served entirely
+    from cache,
   * BENCH_robustness.json is checked structurally INSTEAD of by wall time:
     the soak runs under sanitizers in CI (10x+ skew vs the release-built
     baseline), so timing ratios are meaningless there. What must hold is
@@ -197,6 +202,61 @@ def check_throughput_structure(current_path):
     return failures
 
 
+def check_planner_structure(current_path):
+    """The boolean-planner bench must cover its whole grid, verified.
+
+    The binary itself exits non-zero when any measured query fails to
+    verify or diverges from the plaintext oracle; this re-checks the
+    emitted rows so a run that silently dropped a grid cell (or a stale
+    artifact) cannot pass. What must hold: every read-path × clause-count
+    × selectivity cell produced a row with a sane clause count, every
+    verified-aggregate row is present (MIN/MAX/top-k with binary-search
+    probes actually spent), and the combiner-cache warm row was served
+    entirely from cache.
+    """
+    rows = load_rows(current_path)
+    failures = []
+    for mode in ("legacy", "aggregated"):
+        for leaves in (1, 2, 4, 8):
+            for level in ("narrow", "mid", "wide"):
+                name = f"Planner/{mode}/leaves{leaves}/{level}"
+                row = rows.get(name)
+                if row is None:
+                    failures.append(f"{name}: missing from {current_path}")
+                    continue
+                clauses = float(row.get("clauses", 0))
+                if clauses < leaves:
+                    failures.append(
+                        f"{name}: only {clauses:.0f} clauses for "
+                        f"{leaves} leaves (each leaf lowers to >= 1 clause)"
+                    )
+    for name in ("PlannerAggregate/count", "PlannerAggregate/min",
+                 "PlannerAggregate/max", "PlannerAggregate/top_k"):
+        row = rows.get(name)
+        if row is None:
+            failures.append(f"{name}: missing from {current_path}")
+        elif name != "PlannerAggregate/count" and float(row.get("probes", 0)) <= 0:
+            failures.append(f"{name}: no verified binary-search probes spent")
+    warm = rows.get("PlannerCache/warm")
+    if warm is None or "PlannerCache/cold" not in rows:
+        failures.append(f"PlannerCache/cold+warm: missing from {current_path}")
+    elif (float(warm.get("clauses", 0)) <= 0
+          or float(warm.get("cached_clauses", -1)) != float(warm.get("clauses", 0))):
+        failures.append(
+            f"PlannerCache/warm: {warm.get('cached_clauses')}/"
+            f"{warm.get('clauses')} clauses cached (warm repeat must be "
+            "served entirely from the combiner cache)"
+        )
+    if not failures:
+        agg = rows.get("PlannerAggregate/min", {})
+        print(
+            f"  planner OK: 24 grid cells, aggregates present "
+            f"(min probes {agg.get('probes', 0):.0f}), warm cache "
+            f"{warm.get('cached_clauses', 0):.0f}/{warm.get('clauses', 0):.0f}"
+        )
+    return failures
+
+
 def check_robustness_structure(current_path, baseline_path):
     """Soak-invariant gates for the robustness bench (no wall-time claims).
 
@@ -305,6 +365,8 @@ def main():
             failures += check_aggregate_speedup(path, args)
         if name == "BENCH_throughput.json":
             failures += check_throughput_structure(path)
+        if name == "BENCH_planner.json":
+            failures += check_planner_structure(path)
         for failure in failures:
             print(f"  REGRESSION {failure}")
         all_failures += failures
